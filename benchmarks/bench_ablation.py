@@ -1,0 +1,173 @@
+"""Ablation benches for the design choices DESIGN.md §5 calls out.
+
+Each bench isolates one mechanism of the overlay-centric protocol (or of
+the simulation model) and prints the measured effect next to the timing:
+
+* bridges on/off (TD vs BTD),
+* sharing policy (proportional / steal-half / steal-1 / steal-2),
+* upper-bound diffusion on/off for B&B,
+* the converge-cast bootstrap vs oracle subtree sizes,
+* message handler cost sensitivity (the MW-saturation mechanism),
+* work granularity (the regime study of EXPERIMENTS.md: the BTD-vs-RWS
+  ordering is a function of per-worker work).
+"""
+
+from repro.apps.bnb_app import BnBApplication
+from repro.apps.uts_app import UTSApplication
+from repro.bnb.taillard import scaled_instance
+from repro.core.config import OCLBConfig
+from repro.experiments.report import render_table
+from repro.experiments.runner import RunConfig, run_once
+from repro.uts.params import PRESETS
+
+UTS_PRESET = PRESETS["bin_tiny"]
+INST = scaled_instance(1, n_jobs=9, n_machines=8)
+
+
+def _uts_app():
+    return UTSApplication(UTS_PRESET.params)
+
+
+def test_bridges_ablation(benchmark):
+    """TD vs BTD on the same workload."""
+    def run():
+        out = {}
+        for proto in ("TD", "BTD"):
+            r = run_once(RunConfig(protocol=proto, n=64, dmax=10,
+                                   quantum=128, seed=5), _uts_app())
+            out[proto] = r
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + render_table(
+        ["overlay", "makespan (ms)", "messages"],
+        [[p, r.makespan * 1e3, r.total_msgs] for p, r in out.items()],
+        title="bridges ablation (UTS, n=64)", digits=2))
+    assert all(r.total_units == UTS_PRESET.nodes for r in out.values())
+
+
+def test_sharing_policy_ablation(benchmark):
+    """proportional vs steal-half vs steal-1 vs steal-2 (Dinan et al.)."""
+    policies = ("proportional", "half", "steal-1", "steal-2")
+
+    def run():
+        return {pol: run_once(RunConfig(protocol="TD", n=48, dmax=10,
+                                        sharing=pol, quantum=128, seed=5),
+                              _uts_app())
+                for pol in policies}
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + render_table(
+        ["policy", "makespan (ms)", "work requests"],
+        [[p, r.makespan * 1e3, r.total_steals] for p, r in out.items()],
+        title="sharing policy ablation (UTS, n=48)", digits=2))
+    # steal-1 pathologically multiplies balancing operations (paper §I)
+    assert out["steal-1"].total_steals > 2 * out["proportional"].total_steals
+
+
+def test_bound_diffusion_ablation(benchmark):
+    """upper-bound gossip on/off: diffusion prunes other workers' trees."""
+    from repro.core.worker import WorkerConfig
+    from repro.experiments.runner import build_workers
+    from repro.sim import Simulator, grid5000
+
+    def one(gossip: bool) -> int:
+        cfg = RunConfig(protocol="TD", n=24, dmax=10, quantum=16, seed=5)
+        sim = Simulator(grid5000(), seed=5)
+        workers = build_workers(sim, cfg, BnBApplication(INST))
+        for w in workers:
+            w.cfg = WorkerConfig(quantum=16, seed=5, gossip_bounds=gossip)
+        return sim.run().total_work_units
+
+    def run():
+        return one(True), one(False)
+
+    with_g, without_g = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nbound diffusion ablation (B&B, n=24): nodes explored "
+          f"with={with_g:,} without={without_g:,}")
+    assert with_g < without_g
+
+
+def test_convergecast_ablation(benchmark):
+    """distributed size bootstrap vs oracle sizes: identical balancing."""
+    def run():
+        out = {}
+        for cc in (True, False):
+            r = run_once(RunConfig(protocol="TD", n=48, dmax=10, quantum=128,
+                                   seed=5,
+                                   oclb=OCLBConfig(convergecast=cc)),
+                         _uts_app())
+            out[cc] = r
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nconvergecast ablation: bootstrap {out[True].makespan*1e3:.2f} "
+          f"ms vs oracle {out[False].makespan*1e3:.2f} ms")
+    assert out[True].total_units == out[False].total_units
+
+
+def test_handler_cost_sensitivity(benchmark):
+    """per-message CPU cost is what saturates the MW master."""
+    def run():
+        out = {}
+        for hc in (1e-6, 1e-5, 1e-4):
+            r = run_once(RunConfig(protocol="MW", n=64, quantum=8, seed=5,
+                                   handler_cost=hc),
+                         BnBApplication(INST, warm_start=True))
+            out[hc] = r
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + render_table(
+        ["handler cost (s)", "makespan (ms)"],
+        [[f"{hc:g}", r.makespan * 1e3] for hc, r in out.items()],
+        title="MW handler-cost sensitivity (B&B, n=64)", digits=2))
+    assert out[1e-4].makespan > out[1e-6].makespan
+
+
+def test_termination_overhead(benchmark):
+    """Cost of distributed termination detection: tail after the last work
+    unit, per protocol (the paper claims the tree makes this nearly free)."""
+    def run():
+        rows = []
+        for proto in ("TD", "BTD", "RWS", "LIFELINE"):
+            r = run_once(RunConfig(protocol=proto, n=48, dmax=10,
+                                   quantum=128, seed=5), _uts_app())
+            rows.append([proto, r.work_done_time * 1e3,
+                         (r.makespan - r.work_done_time) * 1e3,
+                         100 * (r.makespan - r.work_done_time) / r.makespan])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + render_table(
+        ["protocol", "work done (ms)", "detection tail (ms)",
+         "tail % of makespan"],
+        rows, title="termination-detection overhead (UTS, n=48)", digits=2))
+    # detection is a small fraction of the run for every protocol
+    assert all(r[3] < 50 for r in rows)
+
+
+def test_granularity_regime(benchmark):
+    """BTD-vs-RWS ordering depends on per-worker work (EXPERIMENTS.md)."""
+    preset = PRESETS["bin_small"]
+
+    def run():
+        rows = []
+        for n in (8, 32, 128):
+            times = {}
+            for proto in ("BTD", "RWS"):
+                r = run_once(RunConfig(protocol=proto, n=n, dmax=10,
+                                       quantum=256, seed=5),
+                             UTSApplication(preset.params))
+                times[proto] = r.makespan
+            rows.append([n, preset.nodes // n, times["BTD"] * 1e3,
+                         times["RWS"] * 1e3,
+                         times["RWS"] / times["BTD"]])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + render_table(
+        ["n", "nodes/worker", "BTD (ms)", "RWS (ms)", "RWS/BTD"],
+        rows, title="granularity regime study (UTS bin_small)", digits=2))
+    # coarser granularity moves the ratio in BTD's favour
+    assert rows[0][4] > rows[-1][4] * 0.8

@@ -1,0 +1,95 @@
+"""Benches for the extension features beyond the paper's own evaluation.
+
+* BTD vs the lifeline-hypercube design of Saraswat et al. (the related
+  work the paper compares notes with: they report 94% UTS efficiency at
+  128 cores, the paper replies with 96%);
+* heterogeneous worker speeds (the paper's stated future work: overlays
+  for heterogeneous environments) — how gracefully each protocol absorbs
+  a +/-50% CPU-speed spread.
+"""
+
+from repro.apps.uts_app import UTSApplication
+from repro.experiments.report import render_table
+from repro.experiments.runner import RunConfig, run_once
+from repro.experiments.seqref import sequential_time
+from repro.uts.params import PRESETS
+
+PRESET = PRESETS["bin_small"]
+
+
+def test_btd_vs_lifeline(benchmark):
+    app = UTSApplication(PRESET.params)
+    t_seq = sequential_time(app)
+
+    def run():
+        rows = []
+        for proto in ("BTD", "RWS", "LIFELINE"):
+            r = run_once(RunConfig(protocol=proto, n=64, dmax=10,
+                                   quantum=256, seed=9),
+                         UTSApplication(PRESET.params))
+            rows.append([proto, r.makespan * 1e3,
+                         100 * r.efficiency(t_seq), r.total_msgs])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + render_table(
+        ["protocol", "makespan (ms)", "PE %", "messages"], rows,
+        title="overlay designs on UTS (n=64)", digits=1))
+    # everyone solves it; lifeline sits in the same performance class as
+    # plain RWS on this workload
+    by = {r[0]: r[1] for r in rows}
+    assert by["LIFELINE"] < 3 * by["RWS"]
+
+
+def test_heterogeneity_absorption(benchmark):
+    app = UTSApplication(PRESET.params)
+    t_seq = sequential_time(app)
+
+    def run():
+        rows = []
+        for proto in ("BTD", "RWS"):
+            for spread in (0.0, 0.5):
+                r = run_once(RunConfig(protocol=proto, n=48, dmax=10,
+                                       quantum=256, seed=9,
+                                       speed_spread=spread),
+                             UTSApplication(PRESET.params))
+                rows.append([proto, spread, r.makespan * 1e3,
+                             100 * r.efficiency(t_seq)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + render_table(
+        ["protocol", "speed spread", "makespan (ms)", "PE %"], rows,
+        title="heterogeneous workers (UTS, n=48)", digits=1))
+    # dynamic balancing absorbs heterogeneity: a +/-50% speed spread must
+    # not double the makespan of either protocol
+    for proto in ("BTD", "RWS"):
+        homo = next(r[2] for r in rows if r[0] == proto and r[1] == 0.0)
+        hetero = next(r[2] for r in rows if r[0] == proto and r[1] == 0.5)
+        assert hetero < 2 * homo
+
+
+def test_capacity_aware_overlay(benchmark):
+    """The paper's future work: overlays adapted to heterogeneous nodes."""
+    from repro.core.config import OCLBConfig
+
+    def run():
+        rows = []
+        for label, aware, placement in (
+                ("plain BTD", False, "random"),
+                ("capacity-aware shares", True, "random"),
+                ("capacity + fast-interior", True, "fast-interior")):
+            r = run_once(RunConfig(protocol="BTD", n=48, dmax=10,
+                                   quantum=256, seed=9, speed_spread=0.8,
+                                   speed_placement=placement,
+                                   oclb=OCLBConfig(capacity_aware=aware)),
+                         UTSApplication(PRESET.params))
+            rows.append([label, r.makespan * 1e3, r.total_msgs])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + render_table(
+        ["variant", "makespan (ms)", "messages"], rows,
+        title="heterogeneity-aware overlay variants "
+              "(UTS, n=48, speed spread 0.8)", digits=1))
+    assert all(r[1] > 0 for r in rows)

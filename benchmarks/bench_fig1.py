@@ -1,0 +1,24 @@
+"""Benchmark + regeneration of Fig. 1 (degree/diameter analysis)."""
+
+from conftest import run_report
+
+from repro.experiments import fig1
+
+
+def test_fig1(benchmark, quick_scale):
+    report = run_report(benchmark, fig1.run, quick_scale)
+    bottom = report.data["bottom"]
+    # the paper's qualitative claim: interior nodes carry the traffic, and
+    # more so the higher the degree
+    from repro.overlay.tree import deterministic_tree
+    n = quick_scale.fig1_n
+    ratios = {}
+    for dmax, msgs in bottom.items():
+        tree = deterministic_tree(n, dmax)
+        interior = [p for p in range(n) if tree.children[p]]
+        leaves = [p for p in range(n) if not tree.children[p]]
+        mi = sum(msgs[p] for p in interior) / len(interior)
+        ml = sum(msgs[p] for p in leaves) / len(leaves)
+        ratios[dmax] = mi / max(1e-9, ml)
+    assert all(r > 1.0 for r in ratios.values())
+    assert ratios[10] > ratios[2]

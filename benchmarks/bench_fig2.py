@@ -1,0 +1,20 @@
+"""Benchmark + regeneration of Fig. 2 (proportional vs steal-half)."""
+
+from conftest import run_report
+
+from repro.experiments import fig2
+
+
+def test_fig2(benchmark, quick_scale):
+    report = run_report(benchmark, fig2.run, quick_scale)
+    data = report.data["bnb"]
+    wins = sum(per["proportional"][0] < per["half"][0]
+               for per in data.values())
+    # the paper's central sharing-policy claim: proportional wins the
+    # majority of the instances
+    assert wins >= 5, f"proportional won only {wins}/10"
+    # UTS: proportional at the largest n must not lose badly
+    series = report.data["uts"]
+    prop = next(s for s in series if "proportional" in s.name)
+    half = next(s for s in series if "half" in s.name)
+    assert prop.ys[-1] <= half.ys[-1] * 1.1

@@ -1,0 +1,18 @@
+"""Benchmark + regeneration of Fig. 3 (BTD vs RWS vs MW at one scale)."""
+
+from conftest import run_report
+
+from repro.experiments import fig3
+
+
+def test_fig3(benchmark, quick_scale):
+    report = run_report(benchmark, fig3.run, quick_scale)
+    data = report.data
+    # all three protocols solved every instance; times positive
+    for name, times in data.items():
+        assert set(times) == {"BTD", "RWS", "MW"}
+        assert all(t > 0 for t in times.values())
+    # MW is competitive at this scale (the paper's surprising finding):
+    # it must not be an order of magnitude behind the best
+    for times in data.values():
+        assert times["MW"] < 10 * min(times.values())

@@ -1,0 +1,20 @@
+"""Benchmark + regeneration of Fig. 4 (MW saturation vs BTD scaling)."""
+
+from conftest import run_report
+
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark, quick_scale):
+    report = run_report(benchmark, fig4.run, quick_scale)
+    ns = quick_scale.fig45_n
+    data = report.data
+    # BTD keeps gaining from scale on both instances
+    for label in ("Ta21", "Ta23"):
+        btd_first = data[(label, "BTD", ns[0])].t_avg
+        btd_last = data[(label, "BTD", ns[-1])].t_avg
+        assert btd_last < btd_first
+    # MW's master saturation is a large-scale effect (n >= ~600, see
+    # EXPERIMENTS.md for the default-scale collapse); here just check MW
+    # completed everywhere with sane times
+    assert all(ts.t_avg > 0 for ts in data.values())

@@ -1,0 +1,18 @@
+"""Benchmark + regeneration of Fig. 5 (BTD vs RWS scalability + PE)."""
+
+from conftest import run_report
+
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, quick_scale):
+    report = run_report(benchmark, fig5.run, quick_scale)
+    data = report.data["runs"]
+    t_seq = report.data["t_seq"]
+    assert set(t_seq) == {"Ta21", "Ta23", "UTS"}
+    # both protocols keep making scale useful on UTS
+    ns = quick_scale.fig5_uts_n
+    for proto in ("BTD", "RWS"):
+        first = data[("UTS", proto, ns[0])].t_avg
+        last = data[("UTS", proto, ns[-1])].t_avg
+        assert last < first

@@ -1,0 +1,17 @@
+"""Benchmark + regeneration of the granularity regime study."""
+
+from conftest import run_report
+
+from repro.experiments import granularity
+
+
+def test_granularity(benchmark, quick_scale):
+    report = run_report(benchmark, granularity.run, quick_scale)
+    rows = report.data["rows"]
+    assert len(rows) >= 3
+    # units/worker decreases as n grows, by construction
+    per_worker = [r[1] for r in rows]
+    assert per_worker == sorted(per_worker, reverse=True)
+    # every configuration produced a sane efficiency
+    for r in rows:
+        assert 0 < r[3] <= 115 and 0 < r[5] <= 115

@@ -1,0 +1,137 @@
+"""Micro-benchmarks of the substrates (throughput numbers for README)."""
+
+import numpy as np
+
+from repro.bnb.engine import BnBEngine
+from repro.bnb.interval import position_to_permutation, tree_leaves
+from repro.bnb.johnson import johnson_order, two_machine_optimal
+from repro.bnb.state import BoundState
+from repro.bnb.taillard import scaled_instance
+from repro.bnb.work import BnBWork
+from repro.overlay.bridges import add_bridges
+from repro.overlay.tree import deterministic_tree
+from repro.sim.events import EventQueue
+from repro.uts.rng import child_states, decide_unit
+from repro.uts.sequential import count_tree
+from repro.uts.tree import UTSParams
+
+
+def test_event_queue_throughput(benchmark):
+    """push+pop rate of the simulator core."""
+    def run():
+        q = EventQueue()
+        noop = lambda: None
+        for i in range(20_000):
+            q.push(float(i % 97), noop)
+        while q.pop() is not None:
+            pass
+        return q.fired
+
+    assert benchmark(run) == 20_000
+
+
+def test_uts_expansion_rate(benchmark):
+    """vectorised UTS node expansions (nodes/second ~ millions)."""
+    params = UTSParams(b0=2000, q=0.49, m=2, root_seed=5)
+
+    def run():
+        return count_tree(params, max_nodes=5_000_000).nodes
+
+    nodes = benchmark(run)
+    assert nodes > 100_000
+
+
+def test_uts_child_hashing(benchmark):
+    states = np.arange(100_000, dtype=np.uint64)
+    counts = np.full(100_000, 2, dtype=np.int64)
+
+    def run():
+        u = decide_unit(states)
+        kids = child_states(states, counts)
+        return len(kids) + int(u.sum())
+
+    assert benchmark(run) > 0
+
+
+def test_bnb_engine_rate(benchmark):
+    """pure-Python B&B exploration (bound evaluations/second)."""
+    inst = scaled_instance(1, n_jobs=10, n_machines=10)
+    engine = BnBEngine(inst, bound="lb1")
+
+    def run():
+        work = BnBWork.full_tree(10)
+        shared = BoundState()
+        return engine.explore(work, shared, 20_000).nodes
+
+    assert benchmark(run) >= 20_000
+
+
+def test_interval_decode(benchmark):
+    n = 20
+    positions = [tree_leaves(n) // 7 * k for k in range(7)]
+
+    def run():
+        return sum(position_to_permutation(p, n)[0] for p in positions)
+
+    benchmark(run)
+
+
+def test_johnson_bound(benchmark):
+    rng = np.random.default_rng(3)
+    a = rng.integers(1, 100, 20).tolist()
+    b = rng.integers(1, 100, 20).tolist()
+
+    def run():
+        return two_machine_optimal(a, b)
+
+    assert benchmark(run) > 0
+    assert len(johnson_order(a, b)) == 20
+
+
+def test_overlay_construction(benchmark):
+    def run():
+        tree = deterministic_tree(1000, 10)
+        overlay = add_bridges(tree, seed=1)
+        return overlay.n
+
+    assert benchmark(run) == 1000
+
+
+def test_neh_heuristic(benchmark):
+    from repro.bnb.neh import neh
+    from repro.bnb.taillard import taillard_instance
+    inst = taillard_instance(1)  # the real 20x20 Ta21
+
+    def run():
+        return neh(inst)[0]
+
+    value = benchmark(run)
+    assert value > 0
+
+
+def test_lag_bound_evaluation(benchmark):
+    from repro.bnb.bounds import JohnsonLagBound
+    inst = scaled_instance(1, n_jobs=12, n_machines=10)
+    bound = JohnsonLagBound("adjacent").attach(inst)
+    remaining = list(range(1, 12))
+    front = inst.advance([0] * 10, 0)
+    rem_sum = [sum(inst.p[i][j] for j in remaining[1:]) for i in range(10)]
+    bound.set_mask([j in remaining[1:] for j in range(12)])
+
+    def run():
+        fd = bound.frame(remaining)
+        return bound.child(front, 1, fd, rem_sum)
+
+    assert benchmark(run) > 0
+
+
+def test_decompose_block(benchmark):
+    from repro.bnb.engine import BnBEngine
+    from repro.bnb.interval import tree_leaves
+    inst = scaled_instance(1, n_jobs=10, n_machines=10)
+    engine = BnBEngine(inst)
+
+    def run():
+        return engine.decompose_block(0, BoundState(), tree_leaves(10))[1]
+
+    assert benchmark(run) == 10

@@ -1,0 +1,13 @@
+"""Benchmark + regeneration of Table I (overlay shape study)."""
+
+from conftest import run_report
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, quick_scale):
+    report = run_report(benchmark, table1.run, quick_scale)
+    # every configuration produced trials with sane timings
+    for ts in report.data.values():
+        assert ts.t_min > 0
+        assert ts.t_min <= ts.t_avg <= ts.t_max

@@ -1,0 +1,17 @@
+"""Benchmark + regeneration of Table II (TD/BTD vs AHMW)."""
+
+from conftest import run_report
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, quick_scale):
+    report = run_report(benchmark, table2.run, quick_scale)
+    data = report.data
+    td_total = sum(t["TD"] for t in data.values())
+    btd_total = sum(t["BTD"] for t in data.values())
+    ahmw_total = sum(t["AHMW"] for t in data.values())
+    # paper: order-of-magnitude aggregate gap (we accept >= 2x at quick
+    # scale; the default scale lands at 5-10x, see EXPERIMENTS.md)
+    assert ahmw_total > 2.0 * btd_total
+    assert ahmw_total > 2.0 * td_total

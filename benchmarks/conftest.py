@@ -1,0 +1,26 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table and figure
+of the paper at the *quick* scale (CI-sized workloads) and prints the rows
+next to the timing. The default-scale numbers live in EXPERIMENTS.md and
+are produced by ``python -m repro.experiments --all``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import get_scale
+
+
+@pytest.fixture(scope="session")
+def quick_scale():
+    return get_scale("quick")
+
+
+def run_report(benchmark, runner, scale):
+    """Benchmark one experiment module and print its reproduction report."""
+    report = benchmark.pedantic(lambda: runner(scale), rounds=1, iterations=1)
+    print()
+    print(report.render())
+    return report

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Solve a flow-shop instance exactly with four parallel B&B schemes.
+
+Solves a scaled Taillard instance (Ta22 truncated to 9 jobs x 8 machines)
+with the overlay-centric protocol and the paper's three baselines, checks
+they all find the same optimum, and contrasts their cost profiles.
+
+Run:  python examples/flowshop_bnb.py
+"""
+
+from repro import BnBApplication, RunConfig, run_once, scaled_instance
+from repro.bnb import BnBEngine
+from repro.bnb.neh import neh
+from repro.experiments.report import render_table
+
+def main() -> None:
+    inst = scaled_instance(2, n_jobs=9, n_machines=8)
+    print(inst.describe())
+
+    heuristic, perm = neh(inst)
+    print(f"NEH heuristic        : makespan {heuristic} (order {perm})")
+
+    optimum, opt_perm, seq_nodes = BnBEngine(inst, bound="lb1").solve()
+    print(f"sequential B&B       : optimum {optimum} after {seq_nodes:,} "
+          f"bound evaluations")
+    print(f"optimal permutation  : {list(opt_perm)}")
+    print()
+
+    rows = []
+    for proto in ("BTD", "RWS", "MW", "AHMW"):
+        cfg = RunConfig(protocol=proto, n=32, dmax=10, quantum=16, seed=11)
+        res = run_once(cfg, BnBApplication(inst, warm_start=True))
+        assert res.optimum == optimum, (proto, res.optimum, optimum)
+        rows.append([proto, res.optimum, res.total_units,
+                     res.makespan * 1e3, res.total_msgs, res.redundancy])
+    print(render_table(
+        ["protocol", "optimum", "nodes explored", "makespan (ms)",
+         "messages", "redundant positions"],
+        rows, title="parallel B&B on 32 simulated workers "
+                    "(all must agree on the optimum)", digits=2))
+    print("\nNote how MW pays in redundant exploration (stale master view)"
+          "\nand AHMW in time (masters do not explore), exactly the paper's"
+          "\nqualitative story.")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Quickstart: run the overlay-centric load balancer on a UTS instance.
+
+Builds a 64-peer bridged tree overlay (BTD, dmax=10) on the simulated
+Grid'5000 cluster, counts a ~22k-node unbalanced tree in parallel, and
+prints the load-balancing story: makespan, efficiency, message traffic.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RunConfig, UTSApplication, get_uts_preset, run_once
+from repro.experiments.seqref import sequential_time
+
+def main() -> None:
+    preset = get_uts_preset("bin_tiny")
+    app = UTSApplication(preset.params)
+    print(f"instance : {preset.describe()}")
+
+    cfg = RunConfig(protocol="BTD", n=64, dmax=10, quantum=256, seed=7)
+    result = run_once(cfg, app)
+
+    t_seq = sequential_time(app)
+    print(f"protocol : {cfg.protocol} (dmax={cfg.dmax}, "
+          f"{cfg.sharing} sharing)")
+    print(f"workers  : {cfg.n}")
+    print(f"nodes counted        : {result.total_units:,} "
+          f"(sequential oracle: {preset.nodes:,})")
+    assert result.total_units == preset.nodes, "lost work?!"
+    print(f"virtual makespan     : {result.makespan * 1e3:.2f} ms")
+    print(f"sequential time      : {t_seq * 1e3:.2f} ms")
+    print(f"speedup              : {t_seq / result.makespan:.1f}x "
+          f"on {cfg.n} workers "
+          f"(efficiency {100 * result.efficiency(t_seq):.0f}%)")
+    print(f"messages             : {result.total_msgs:,} "
+          f"({result.total_steals:,} work requests)")
+
+if __name__ == "__main__":
+    main()

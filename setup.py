@@ -1,0 +1,5 @@
+"""Legacy shim: lets `pip install -e .` work offline without the wheel pkg."""
+
+from setuptools import setup
+
+setup()

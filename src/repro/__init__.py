@@ -1,0 +1,46 @@
+"""repro — Overlay-Centric Load Balancing (CLUSTER 2012), full reproduction.
+
+Public API tour:
+
+* ``repro.sim`` — deterministic message-passing simulator (the testbed).
+* ``repro.overlay`` — TD/TR/BTD overlays, converge-cast, metrics.
+* ``repro.work`` — splittable work + sharing policies (the paper's
+  subtree-proportional rule and the steal-half/steal-k baselines).
+* ``repro.uts`` — Unbalanced Tree Search (binomial/geometric).
+* ``repro.bnb`` — interval-encoded Flowshop Branch-and-Bound.
+* ``repro.apps`` — application adapters for the worker framework.
+* ``repro.core`` — the overlay-centric load-balancing protocol.
+* ``repro.baselines`` — RWS, Master-Worker, AHMW.
+* ``repro.experiments`` — every table and figure of the paper.
+
+Quickstart::
+
+    from repro import RunConfig, run_once, UTSApplication, get_uts_preset
+    result = run_once(RunConfig(protocol="BTD", n=64, dmax=10),
+                      UTSApplication(get_uts_preset("bin_tiny").params))
+    print(result.makespan, result.total_units)
+"""
+
+from .apps import BnBApplication, SyntheticApplication, UTSApplication
+from .bnb import (BnBEngine, FlowshopInstance, scaled_instance,
+                  taillard_instance)
+from .core import OCLBConfig, OverlayWorker, WorkerConfig
+from .experiments.runner import (ExperimentResult, RunConfig, TrialStats,
+                                 run_once, run_trials)
+from .overlay import (BridgedTreeOverlay, TreeOverlay, add_bridges,
+                      deterministic_tree, random_tree)
+from .sim import Simulator, grid5000, uniform_network
+from .uts import UTSParams
+from .uts import get_preset as get_uts_preset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RunConfig", "run_once", "run_trials", "ExperimentResult", "TrialStats",
+    "UTSApplication", "BnBApplication", "SyntheticApplication",
+    "UTSParams", "get_uts_preset", "FlowshopInstance", "BnBEngine",
+    "taillard_instance", "scaled_instance", "TreeOverlay",
+    "BridgedTreeOverlay", "deterministic_tree", "random_tree", "add_bridges",
+    "OverlayWorker", "OCLBConfig", "WorkerConfig", "Simulator", "grid5000",
+    "uniform_network", "__version__",
+]

@@ -1,0 +1,11 @@
+"""Application adapters binding workloads to the worker framework."""
+
+from .base import Application, ProcessOutcome
+from .bnb_app import BNB_UNIT_COST, BnBApplication
+from .synthetic import SyntheticApplication, SyntheticWork
+from .uts_app import UTS_UNIT_COST, UTSApplication
+
+__all__ = [
+    "Application", "ProcessOutcome", "UTSApplication", "BnBApplication",
+    "SyntheticApplication", "SyntheticWork", "UTS_UNIT_COST", "BNB_UNIT_COST",
+]

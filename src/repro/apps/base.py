@@ -1,0 +1,69 @@
+"""Application adapter: how a protocol-agnostic worker runs an application.
+
+An :class:`Application` packages everything the worker framework needs to
+run one workload: how to create the initial/empty work, how to process a
+quantum of it, how long a work unit takes on the simulated hardware, and
+(optionally) a shared-knowledge object diffused between workers (the B&B
+upper bound).
+
+The simulated durations are *virtual*: `unit_cost` prices one application
+work unit (a UTS node expansion, a B&B bound evaluation) in virtual seconds.
+DESIGN.md §6 explains how these prices were chosen to preserve the paper's
+compute/communication cost ratios.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..work.base import WorkItem
+
+
+@dataclass(slots=True)
+class ProcessOutcome:
+    """Result of one compute quantum."""
+
+    units: int               # work units actually processed
+    improved: bool = False   # shared knowledge improved (diffuse it)
+
+
+class Application(ABC):
+    """A workload runnable by the worker framework (see module docstring)."""
+
+    #: human-readable workload name (experiment reports)
+    name: str = "app"
+    #: virtual seconds per work unit
+    unit_cost: float = 5e-5
+
+    @abstractmethod
+    def initial_work(self) -> WorkItem:
+        """The entire job, placed on the initial node (root / master)."""
+
+    @abstractmethod
+    def empty_work(self) -> WorkItem:
+        """An empty container every other worker starts with."""
+
+    @abstractmethod
+    def process(self, work: WorkItem, max_units: int,
+                shared: Any) -> ProcessOutcome:
+        """Process up to ``max_units`` of ``work`` (mutating it)."""
+
+    def make_shared(self) -> Optional[Any]:
+        """Fresh per-worker shared-knowledge state (None: nothing to share)."""
+        return None
+
+    def shared_value(self, shared: Any) -> Optional[int]:
+        """The diffusible scalar of ``shared`` (e.g. the B&B upper bound)."""
+        return None
+
+    def absorb_value(self, shared: Any, value: int) -> bool:
+        """Fold a diffused scalar into ``shared``; True iff it improved."""
+        return False
+
+    def describe(self) -> str:
+        return self.name
+
+
+__all__ = ["Application", "ProcessOutcome"]

@@ -1,0 +1,36 @@
+"""UTS as a worker-framework application."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..uts.tree import UTSParams
+from ..uts.work import UTSWork
+from .base import Application, ProcessOutcome
+
+#: Default virtual cost of one UTS node expansion (seconds). Comparable to
+#: the original benchmark's per-node cost on the paper's Xeons.
+UTS_UNIT_COST = 5e-6
+
+
+class UTSApplication(Application):
+    """Count an unbalanced tree; work = stacks of pending node descriptors."""
+
+    def __init__(self, params: UTSParams,
+                 unit_cost: float = UTS_UNIT_COST) -> None:
+        self.params = params
+        self.unit_cost = unit_cost
+        self.name = f"UTS[{params.describe()}]"
+
+    def initial_work(self) -> UTSWork:
+        return UTSWork.root(self.params)
+
+    def empty_work(self) -> UTSWork:
+        return UTSWork.empty(self.params)
+
+    def process(self, work: UTSWork, max_units: int,
+                shared: Any) -> ProcessOutcome:
+        return ProcessOutcome(units=work.process(max_units))
+
+
+__all__ = ["UTSApplication", "UTS_UNIT_COST"]

@@ -1,0 +1,12 @@
+"""The paper's three competitors (RWS, MW, AHMW) plus the lifeline
+extension from its related work."""
+
+from .ahmw import AHMW_DEGREE, AHMWNode, build_ahmw_tree
+from .lifeline import LifelineWorker
+from .master_worker import MWMaster, MWWorker
+from .rws import RWSWorker, detection_tree
+
+__all__ = [
+    "RWSWorker", "detection_tree", "MWMaster", "MWWorker", "AHMWNode",
+    "build_ahmw_tree", "AHMW_DEGREE", "LifelineWorker",
+]

@@ -1,0 +1,226 @@
+"""AHMW — the Adaptive Hierarchical Master–Worker of Bendjoudi et al.
+
+(JPDC 2012 / FGCS 2012, the paper's §IV-B comparison.) Nodes form a
+degree-10 tree (the configuration those papers report as best — "which is
+in a way consistent with our study"). Interior nodes are *masters*, leaves
+are *workers*; with degree 10 masters are ~10% of the deployment, matching
+the share reported in [2], [3].
+
+Each master owns a pool of B&B subproblems. The work grain is the depth of
+the subproblems a master distributes, a function of its level: the root
+decomposes the whole problem into depth-1 subproblems, a level-1 master
+re-decomposes a received depth-1 subproblem into depth-2 ones, and so on —
+the deeper the master, the finer the grain it hands out. Decomposition is
+genuine B&B branching (children are bounded and pruned on the master's own
+CPU). A master with an empty pool steals one subproblem from its parent;
+workers explore their subproblem to completion.
+
+Subproblems are carried as aligned position blocks, so this scheme shares
+the interval substrate with everything else while keeping the AHMW
+semantics (pool-of-subproblems, level-dependent grain, hierarchy-only work
+flow). Upper bounds diffuse along the hierarchy. Termination uses the
+four-counter waves (a drained master may still revive through its pending
+parent request, so the naive hierarchical rule is unsound; the waves
+verify actual global quiescence).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from ..apps.bnb_app import BnBApplication
+from ..bnb.interval import factorials
+from ..bnb.work import BnBWork
+from ..core.termination import TerminationWaves
+from ..core.worker import WorkerConfig, WorkerProcess
+from ..overlay.tree import TreeOverlay
+from ..sim.errors import SimConfigError
+from ..sim.messages import Message
+
+REQ = "AHMW_REQ"        # child (worker or master) -> master: a subproblem?
+SIB_REQ = "AHMW_SIB"    # master -> same-level master: spare a subproblem?
+SIB_NACK = "AHMW_SIBN"  # sibling has nothing to spare
+
+#: The degree reported as best for AHMW in [2], [3].
+AHMW_DEGREE = 10
+
+
+class AHMWNode(WorkerProcess):
+    """One node of the AHMW hierarchy: master (interior) or worker (leaf)."""
+
+    def __init__(self, pid: int, app: BnBApplication, cfg: WorkerConfig,
+                 tree: TreeOverlay, sibling_sharing: bool = False) -> None:
+        if not isinstance(app, BnBApplication):
+            raise SimConfigError("AHMW is a B&B-specific scheme (paper §IV-B)")
+        super().__init__(pid, app, cfg, has_initial_work=False)
+        self.tree = tree
+        self.parent = tree.parent[pid]
+        self.children = list(tree.children[pid])
+        self.is_master = bool(self.children) or tree.n == 1
+        self.level = tree.depth[pid]
+        # "masters belonging to the same hierarchy level can directly
+        # communicate and share work with each other" — optional variant
+        self.sibling_sharing = sibling_sharing
+        self.siblings = ([s for s in tree.children[self.parent]
+                          if s != pid and tree.children[s]]
+                         if self.parent >= 0 else [])
+        self.sib_outstanding = False
+        from ..sim.rng import RngStream
+        self._sib_rng = RngStream(cfg.seed, "ahmw-sib", pid)
+        n_jobs = app.instance.n_jobs
+        self.fact = factorials(n_jobs)
+        # a master at level l serves subproblems of depth l+1 (clamped)
+        self.target_depth = min(self.level + 1, n_jobs - 1)
+        self.pool: deque[list[int]] = deque()
+        self.pending_children: deque[int] = deque()
+        self.req_outstanding = False
+        self.decomposing = False
+        if pid == 0:
+            self.pool.append([0, self.fact[n_jobs]])
+        self.waves = TerminationWaves(
+            host=self, parent=self.parent, children=self.children,
+            get_counters=self._counters, on_terminate=self.finish,
+            should_wave=self._root_trigger, retry_delay=2e-3)
+
+    # -- worker side -----------------------------------------------------------
+
+    def on_idle(self) -> None:
+        if self.terminated:
+            return
+        if self.is_master:
+            self._master_step()
+            return
+        if not self.req_outstanding:
+            self.req_outstanding = True
+            self.stats.steals_attempted += 1
+            self.send(self.parent, REQ, None)
+
+    def on_work_received(self, msg: Message) -> None:
+        if msg.payload[1] == "ahmw-sib":
+            self.sib_outstanding = False
+        else:
+            self.req_outstanding = False
+        if self.is_master:
+            # a subproblem stolen from our parent: into the pool, then
+            # decompose/serve (the base class never runs quanta on masters
+            # because their work container is drained into the pool here)
+            piece: BnBWork = self.work  # merged by the base class
+            while piece.head() is not None:
+                self.pool.append(list(piece.head()))
+                piece.pop_head()
+            self._master_step()
+
+    # -- master side --------------------------------------------------------------
+
+    def handle(self, msg: Message) -> None:
+        if self.waves.handles(msg.kind):
+            self.waves.handle(msg)
+            return
+        if msg.kind == REQ:
+            self.pending_children.append(msg.src)
+            self._master_step()
+            return
+        if msg.kind == SIB_REQ:
+            # a same-level master asks for one spare subproblem
+            if self.is_master and len(self.pool) > 1:
+                block = self.pool.pop()
+                piece = BnBWork(self.app.instance.n_jobs)
+                piece.intervals.append(block)
+                self.send_work(msg.src, piece, channel="ahmw-sib")
+            else:
+                self.send(msg.src, SIB_NACK, None)
+            return
+        if msg.kind == SIB_NACK:
+            self.sib_outstanding = False
+            self._master_step()
+            return
+
+    def _master_step(self) -> None:
+        """Serve pending children; decompose or steal when the pool is dry."""
+        if self.terminated or not self.is_master or self.decomposing:
+            return
+        if self.cpu_busy:
+            return
+        while self.pending_children and self.pool:
+            head = self.pool[0]
+            depth = self._depth_of(head)
+            if depth < self.target_depth:
+                self._decompose(head)
+                return  # resumes via the decomposition completion
+            self.pool.popleft()
+            child = self.pending_children.popleft()
+            piece = BnBWork(self.app.instance.n_jobs)
+            piece.intervals.append(head)
+            self.send_work(child, piece, channel="ahmw")
+        if self.pending_children and not self.pool:
+            if (self.sibling_sharing and self.siblings
+                    and not self.sib_outstanding):
+                self.sib_outstanding = True
+                self.stats.steals_attempted += 1
+                self.send(self._sib_rng.choice(self.siblings), SIB_REQ, None)
+            if self.parent >= 0 and not self.req_outstanding:
+                self.req_outstanding = True
+                self.stats.steals_attempted += 1
+                self.send(self.parent, REQ, None)
+            elif self.parent < 0:
+                self._root_check()
+
+    def _depth_of(self, block: list[int]) -> int:
+        width = block[1] - block[0]
+        n_jobs = self.app.instance.n_jobs
+        for k in range(n_jobs + 1):
+            if self.fact[k] == width:
+                return n_jobs - k
+        raise SimConfigError(f"pool block {block} is not depth-aligned")
+
+    def _decompose(self, block: list[int]) -> None:
+        """Branch one level of the head subproblem on this master's CPU."""
+        self.pool.popleft()
+        children, nodes, improved = self.app.engine.decompose_block(
+            block[0], self.shared, block[1] - block[0])
+        self.decomposing = True
+        duration = nodes * self.app.unit_cost / self.cfg.speed
+        self.stats.work_units += nodes
+        self.stats.busy_time += duration
+
+        def done() -> None:
+            self.decomposing = False
+            self.sim.note_work_done()
+            for a, b in children:
+                self.pool.append([a, b])
+            if improved and self.cfg.gossip_bounds:
+                self._gossip(exclude=-1)
+            self._master_step()
+
+        self.occupy(duration, done, tag=f"decompose@{self.pid}")
+
+    def gossip_targets(self) -> list[int]:
+        out = list(self.children)
+        if self.parent >= 0:
+            out.append(self.parent)
+        return out
+
+    # -- termination ------------------------------------------------------------------
+
+    def _root_trigger(self) -> bool:
+        return (self.pid == 0 and not self.terminated and not self.pool
+                and not self.decomposing
+                and len(set(self.pending_children)) == len(self.children))
+
+    def _root_check(self) -> None:
+        if self._root_trigger():
+            self.waves.root_try()
+
+    def _counters(self) -> tuple[int, int, bool]:
+        st = self.stats
+        active = (bool(self.pool) or self.decomposing or self.cpu_busy
+                  or not self.work.is_empty())
+        return (st.work_msgs_sent, st.work_msgs_received, active)
+
+
+def build_ahmw_tree(n: int, degree: int = AHMW_DEGREE) -> TreeOverlay:
+    """The degree-10 hierarchy of [2], [3]."""
+    from ..overlay.tree import deterministic_tree
+    return deterministic_tree(n, degree)
+
+
+__all__ = ["AHMWNode", "build_ahmw_tree", "AHMW_DEGREE", "REQ"]

@@ -1,0 +1,152 @@
+"""Lifeline-based global load balancing (Saraswat et al., PPoPP 2011).
+
+The related-work system the paper contrasts itself with (§I-C): random work
+stealing augmented with a *lifeline graph* — here the hypercube the X10
+implementation uses. An idle thief first makes ``w`` random steal attempts;
+if all fail it activates its lifelines: requests that *queue* at its
+hypercube neighbours instead of bouncing. A node that later obtains work
+first satisfies its queued lifelines (pushing shares), so waves of work
+propagate back along the lifeline graph and blind re-probing stops.
+
+This is an extension beyond the paper's own evaluation: it lets the
+repository compare the paper's tree-with-bridges overlay against the other
+published overlay-flavoured work-stealing design on identical workloads
+(see ``benchmarks/bench_extensions.py``).
+"""
+
+from __future__ import annotations
+
+from ..apps.base import Application
+from ..core.termination import TerminationWaves
+from ..core.worker import WorkerConfig, WorkerProcess
+from ..overlay.topology import hypercube_edges, neighbors_from_edges
+from ..sim.messages import Message
+from ..sim.rng import RngStream
+from ..work.sharing import LinkKind, ShareContext, get_policy
+from .rws import detection_tree
+
+STEAL = "LL_STEAL"
+NACK = "LL_NACK"
+LIFELINE = "LL_LIFELINE"
+
+#: Random attempts before falling back to lifelines (X10's default w=2 for
+#: small clusters; the PPoPP paper explores w in 1..4).
+DEFAULT_W = 2
+
+
+class LifelineWorker(WorkerProcess):
+    """One peer of lifeline-based global load balancing."""
+
+    def __init__(self, pid: int, n: int, app: Application, cfg: WorkerConfig,
+                 initial_pid: int = 0, w: int = DEFAULT_W,
+                 sharing: str = "half") -> None:
+        super().__init__(pid, app, cfg, has_initial_work=(pid == initial_pid))
+        self.n = n
+        self.w = max(1, w)
+        self.policy = get_policy(sharing)
+        self.rng = RngStream(cfg.seed, "lifeline", pid)
+        self.lifelines = sorted(neighbors_from_edges(
+            n, hypercube_edges(n))[pid])
+        self.steal_outstanding = False
+        self.failed_attempts = 0
+        self.lifelines_armed = False
+        self.incoming_lifelines: list[int] = []  # queued requesters
+        parent, children = detection_tree(pid, n)
+        self.waves = TerminationWaves(
+            host=self, parent=parent, children=children,
+            get_counters=self._counters, on_terminate=self.finish,
+            should_wave=self._root_trigger, retry_delay=2e-3)
+
+    # -- thief side -----------------------------------------------------------
+
+    def on_idle(self) -> None:
+        if self.terminated:
+            return
+        if self.n == 1:
+            self._root_check()
+            return
+        if not self.steal_outstanding and self.failed_attempts < self.w:
+            victim = self.rng.randrange(self.n - 1)
+            if victim >= self.pid:
+                victim += 1
+            self.steal_outstanding = True
+            self.stats.steals_attempted += 1
+            self.send(victim, STEAL, None)
+        elif (self.failed_attempts >= self.w and not self.lifelines_armed):
+            self.lifelines_armed = True
+            for nb in self.lifelines:
+                self.stats.steals_attempted += 1
+                self.send(nb, LIFELINE, None)
+        self._root_check()
+
+    def on_work_received(self, msg: Message) -> None:
+        self.steal_outstanding = False
+        self.failed_attempts = 0
+        self.lifelines_armed = False
+        self._push_lifelines()
+
+    # -- victim side ---------------------------------------------------------------
+
+    def handle(self, msg: Message) -> None:
+        if self.waves.handles(msg.kind):
+            self.waves.handle(msg)
+            return
+        if msg.kind == STEAL:
+            if not self._give(msg.src):
+                self.send(msg.src, NACK, None)
+            return
+        if msg.kind == NACK:
+            self.steal_outstanding = False
+            self.failed_attempts += 1
+            if self.work.is_empty() and not self.terminated:
+                self.on_idle()
+            return
+        if msg.kind == LIFELINE:
+            if not self._give(msg.src):
+                if msg.src not in self.incoming_lifelines:
+                    self.incoming_lifelines.append(msg.src)
+            return
+
+    def on_quantum_done(self, units: int) -> None:
+        if self.incoming_lifelines:
+            self._push_lifelines()
+
+    def _give(self, thief: int) -> bool:
+        if self.work.is_empty():
+            return False
+        ctx = ShareContext(link=LinkKind.PEER,
+                           work_amount=self.work.amount())
+        piece = self.work.split(self.policy.fraction(ctx))
+        if piece is None:
+            return False
+        self.send_work(thief, piece, channel="lifeline")
+        return True
+
+    def _push_lifelines(self) -> None:
+        """Serve queued lifeline requesters from freshly obtained work."""
+        still: list[int] = []
+        for thief in self.incoming_lifelines:
+            if not self._give(thief):
+                still.append(thief)
+        self.incoming_lifelines = still
+
+    def gossip_targets(self) -> list[int]:
+        return self.lifelines
+
+    # -- termination -------------------------------------------------------------------
+
+    def _root_trigger(self) -> bool:
+        return (self.pid == 0 and not self.terminated
+                and self.work.is_empty() and not self.cpu_busy)
+
+    def _root_check(self) -> None:
+        if self._root_trigger():
+            self.waves.root_try()
+
+    def _counters(self) -> tuple[int, int, bool]:
+        st = self.stats
+        return (st.work_msgs_sent, st.work_msgs_received,
+                not self.work.is_empty() or self.cpu_busy)
+
+
+__all__ = ["LifelineWorker", "DEFAULT_W", "STEAL", "NACK", "LIFELINE"]

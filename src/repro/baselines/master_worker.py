@@ -1,0 +1,201 @@
+"""The Master–Worker B&B of Mezmaz, Melab & Talbi (IPDPS 2007).
+
+A dedicated master (pid 0) manages the global pool of B&B intervals; its
+view of each worker's interval is refreshed by periodic position updates.
+An idle worker requests the master; the master picks the *largest* interval
+it knows of, splits it at its midpoint, ships the right half to the
+requester and notifies the owner to truncate — an asynchronous steal-half
+"tuned at the aim of minimizing the communication bottleneck around the
+master" (paper §IV-C).
+
+Because the master's view is stale, a split midpoint can fall below the
+owner's true position: the overlap is explored twice. This *redundancy* is
+inherent to the scheme ([17] reports 0.39% of explored nodes); we track it
+per worker in :attr:`MWWorker.redundancy`.
+
+Upper bounds diffuse through the master: a worker reports improvements,
+the master rebroadcasts — one more duty that saturates it at scale, which
+is exactly the paper's Fig. 4 collapse mechanism.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..apps.bnb_app import BnBApplication
+from ..bnb.work import BnBWork
+from ..core.worker import WorkerConfig, WorkerProcess
+from ..sim.errors import SimConfigError
+from ..sim.messages import Message
+
+REQ = "MW_REQ"          # worker -> master: I am empty, give me work
+UPDATE = "MW_UPDATE"    # worker -> master: my interval is now [pos, end)
+NOTIFY = "MW_NOTIFY"    # master -> owner: truncate your interval to mid
+TERM = "MW_TERM"
+
+#: Intervals shorter than this are handed over whole instead of split.
+MIN_SPLIT = 2
+
+
+class MWMaster(WorkerProcess):
+    """The dedicated master (pid 0). Never computes application work."""
+
+    def __init__(self, pid: int, n: int, app: BnBApplication,
+                 cfg: WorkerConfig) -> None:
+        if pid != 0:
+            raise SimConfigError("the MW master must be pid 0")
+        if not isinstance(app, BnBApplication):
+            raise SimConfigError("MW is a B&B-specific scheme (paper §IV-C)")
+        super().__init__(pid, app, cfg, has_initial_work=False)
+        self.n = n
+        # the master's view: pid -> [pos, end) or None (known empty)
+        self.view: dict[int, Optional[list[int]]] = {
+            w: None for w in range(1, n)}
+        self.unassigned: list[list[int]] = [
+            [0, BnBWork.full_tree(app.instance.n_jobs).amount()]]
+        self.waiting: deque[int] = deque()
+
+    # the master never runs quanta; its work container stays empty
+    def on_idle(self) -> None:
+        pass
+
+    def handle(self, msg: Message) -> None:
+        if msg.kind == REQ:
+            self.view[msg.src] = None
+            if msg.src not in self.waiting:
+                self.waiting.append(msg.src)
+            self._assign()
+            self._check_done()
+            return
+        if msg.kind == UPDATE:
+            pos, end = msg.payload
+            self.view[msg.src] = [pos, end] if pos < end else None
+            self._assign()
+            self._check_done()
+            return
+
+    def gossip_targets(self) -> list[int]:
+        """The master rebroadcasts bound improvements to every worker."""
+        return list(range(1, self.n))
+
+    # -- pool management -----------------------------------------------------------
+
+    def _assign(self) -> None:
+        while self.waiting:
+            w = self.waiting[0]
+            granted = self._grant_for(w)
+            if granted is None:
+                return  # nothing splittable right now; keep them waiting
+            self.waiting.popleft()
+            piece = BnBWork(self.app.instance.n_jobs)
+            piece.intervals.append(granted)
+            self.view[w] = [granted[0], granted[1]]
+            self.send_work(w, piece, channel="mw")
+
+    def _grant_for(self, w: int) -> Optional[list[int]]:
+        if self.unassigned:
+            # bootstrap pool: hand whole intervals out, largest first
+            best = max(range(len(self.unassigned)),
+                       key=lambda i: self.unassigned[i][1]
+                       - self.unassigned[i][0])
+            return self.unassigned.pop(best)
+        owner, iv = None, None
+        for o, v in self.view.items():
+            if v is not None and o != w and (
+                    iv is None or v[1] - v[0] > iv[1] - iv[0]):
+                owner, iv = o, v
+        if iv is None or iv[1] - iv[0] < MIN_SPLIT:
+            return None
+        mid = (iv[0] + iv[1]) // 2
+        right = [mid, iv[1]]
+        iv[1] = mid  # the master's view of the owner shrinks
+        self.send(owner, NOTIFY, mid, body_bytes=8)
+        return right
+
+    def _check_done(self) -> None:
+        if self.terminated:
+            return
+        pool_empty = not self.unassigned and all(
+            v is None for v in self.view.values())
+        all_waiting = len(self.waiting) == self.n - 1
+        if pool_empty and all_waiting:
+            for w in range(1, self.n):
+                self.send(w, TERM, None)
+            self.finish()
+
+
+class MWWorker(WorkerProcess):
+    """A worker: explores its interval, reports positions, asks when empty."""
+
+    def __init__(self, pid: int, n: int, app: BnBApplication,
+                 cfg: WorkerConfig, update_every: int = 4) -> None:
+        super().__init__(pid, app, cfg, has_initial_work=False)
+        self.n = n
+        self.update_every = max(1, update_every)
+        self.req_outstanding = False
+        self.redundancy = 0          # positions explored twice (stale splits)
+        self._quanta_since_update = 0
+        self._current_end = 0        # right edge of the interval in progress
+        self._last_reached = 0       # right edge of the last exhausted region
+        self._claimed_from = 0       # lowest split point seen this assignment
+
+    def on_idle(self) -> None:
+        if self.terminated or self.req_outstanding:
+            return
+        self.req_outstanding = True
+        self.stats.steals_attempted += 1
+        self.send(0, REQ, None)
+
+    def on_work_received(self, msg: Message) -> None:
+        self.req_outstanding = False
+        self._quanta_since_update = 0
+        head = self.work.head()
+        if head is not None:
+            self._current_end = head[1]
+            self._claimed_from = head[1]
+
+    def on_quantum_done(self, units: int) -> None:
+        head = self.work.head() if isinstance(self.work, BnBWork) else None
+        if head is None:
+            self._last_reached = max(self._last_reached, self._current_end)
+            return
+        self._current_end = head[1]
+        self._quanta_since_update += 1
+        if self._quanta_since_update >= self.update_every:
+            self._quanta_since_update = 0
+            self.send(0, UPDATE, (head[0], head[1]), body_bytes=16)
+
+    def handle(self, msg: Message) -> None:
+        if msg.kind == NOTIFY:
+            # Redundancy: the overlap between what we have explored in this
+            # assignment and what the master just re-granted elsewhere.
+            # _claimed_from is a low-water mark so the cascade of splits of
+            # one stale view counts each overlapping region exactly once.
+            mid = msg.payload
+            head = self.work.head() if isinstance(self.work, BnBWork) else None
+            reached = head[0] if head is not None else self._last_reached
+            self.redundancy += max(0, min(reached, self._claimed_from) - mid)
+            self._claimed_from = min(self._claimed_from, mid)
+            if head is None:
+                return
+            pos, end = head
+            if mid <= pos:
+                self.work.pop_head()
+                self._last_reached = max(self._last_reached, pos)
+                # tell the master immediately that we are empty
+                self.on_idle()
+            else:
+                head[1] = mid
+                self._current_end = mid
+            return
+        if msg.kind == TERM:
+            self.finish()
+            return
+
+    def gossip_targets(self) -> list[int]:
+        return [0]  # bound improvements go to the master, which rebroadcasts
+
+
+__all__ = ["MWMaster", "MWWorker", "REQ", "UPDATE", "NOTIFY", "TERM",
+           "MIN_SPLIT"]

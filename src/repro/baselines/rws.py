@@ -1,0 +1,115 @@
+"""Random Work Stealing — the generic state-of-the-art baseline.
+
+"an idle node selects at random another node and tries to steal work from
+it. We consider the standard steal-half strategy [...] we use the standard
+tree based Dijkstra termination detection algorithm taken from previous
+work stealing studies" (paper §IV-C).
+
+An idle thief keeps one steal request outstanding; a NACK triggers an
+immediate retry at a fresh uniformly random victim (the round trip is the
+natural pacing). Termination runs the four-counter waves of
+:mod:`repro.core.termination` over the implicit binary tree on pids — the
+standard arrangement in distributed work-stealing implementations (Dinan et
+al., SC'09).
+"""
+
+from __future__ import annotations
+
+from ..apps.base import Application
+from ..core.termination import TerminationWaves
+from ..core.worker import WorkerConfig, WorkerProcess
+from ..sim.messages import Message
+from ..sim.rng import RngStream
+from ..work.sharing import LinkKind, ShareContext, get_policy
+
+STEAL = "STEAL"
+NACK = "NACK"
+
+
+def detection_tree(pid: int, n: int) -> tuple[int, list[int]]:
+    """Binary detection tree over pids: parent and children of ``pid``."""
+    parent = (pid - 1) // 2 if pid > 0 else -1
+    children = [c for c in (2 * pid + 1, 2 * pid + 2) if c < n]
+    return parent, children
+
+
+class RWSWorker(WorkerProcess):
+    """One peer of random work stealing."""
+
+    def __init__(self, pid: int, n: int, app: Application, cfg: WorkerConfig,
+                 initial_pid: int = 0, sharing: str = "half") -> None:
+        super().__init__(pid, app, cfg, has_initial_work=(pid == initial_pid))
+        self.n = n
+        self.policy = get_policy(sharing)
+        self.rng = RngStream(cfg.seed, "rws", pid)
+        self.steal_outstanding = False
+        parent, children = detection_tree(pid, n)
+        self.det_parent, self.det_children = parent, children
+        self.waves = TerminationWaves(
+            host=self, parent=parent, children=children,
+            get_counters=self._counters, on_terminate=self.finish,
+            should_wave=self._root_trigger, retry_delay=2e-3)
+
+    # -- stealing --------------------------------------------------------------
+
+    def on_idle(self) -> None:
+        if self.terminated or self.steal_outstanding or self.n == 1:
+            self._root_check()
+            return
+        victim = self.rng.randrange(self.n - 1)
+        if victim >= self.pid:
+            victim += 1
+        self.steal_outstanding = True
+        self.stats.steals_attempted += 1
+        self.send(victim, STEAL, None)
+        self._root_check()
+
+    def handle(self, msg: Message) -> None:
+        if self.waves.handles(msg.kind):
+            self.waves.handle(msg)
+            return
+        if msg.kind == STEAL:
+            piece = None
+            if not self.work.is_empty():
+                ctx = ShareContext(link=LinkKind.PEER,
+                                   work_amount=self.work.amount())
+                piece = self.work.split(self.policy.fraction(ctx))
+            if piece is not None:
+                self.send_work(msg.src, piece, channel="steal")
+            else:
+                self.send(msg.src, NACK, None)
+            return
+        if msg.kind == NACK:
+            self.steal_outstanding = False
+            if self.work.is_empty() and not self.terminated:
+                # retry immediately at a fresh victim (round-trip paced)
+                self.on_idle()
+            return
+
+    def on_work_received(self, msg: Message) -> None:
+        self.steal_outstanding = False
+
+    def gossip_targets(self) -> list[int]:
+        """Bound diffusion over the detection tree (log-diameter, cheap)."""
+        out = list(self.det_children)
+        if self.det_parent >= 0:
+            out.append(self.det_parent)
+        return out
+
+    # -- termination ----------------------------------------------------------------
+
+    def _root_trigger(self) -> bool:
+        return (self.pid == 0 and not self.terminated
+                and self.work.is_empty() and not self.cpu_busy)
+
+    def _root_check(self) -> None:
+        if self._root_trigger():
+            self.waves.root_try()
+
+    def _counters(self) -> tuple[int, int, bool]:
+        st = self.stats
+        return (st.work_msgs_sent, st.work_msgs_received,
+                not self.work.is_empty() or self.cpu_busy)
+
+
+__all__ = ["RWSWorker", "detection_tree", "STEAL", "NACK"]

@@ -1,0 +1,315 @@
+"""The interval-based depth-first B&B explorer.
+
+One engine instance is shared by all simulated workers of a run (it is
+stateless between calls apart from the immutable instance/bound): a worker
+hands it its :class:`~repro.bnb.work.BnBWork` and its
+:class:`~repro.bnb.state.BoundState` and a node budget; the engine explores
+depth-first from the head interval's left edge, advancing the interval's
+``a`` as it goes.
+
+Because a position fully encodes the DFS state (everything left of ``a`` is
+done, everything right is pending), pausing, splitting and resuming work
+costs one O(n²) path rebuild per resume — the property that makes the
+Mezmaz-style encoding so cheap to balance.
+
+Node accounting: one unit per lower-bound evaluation or complete
+permutation evaluated. This is the quantity the simulation prices with
+``unit_cost`` and the quantity reported as "explored nodes".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.errors import SimConfigError
+from .bounds import LowerBound, get_bound
+from .flowshop import FlowshopInstance
+from .interval import factorials, position_to_digits
+from .state import INF, BoundState
+from .work import BnBWork
+
+
+@dataclass(slots=True)
+class ExploreResult:
+    """Outcome of one engine call."""
+
+    nodes: int          # bound evaluations + leaves visited
+    improved: bool      # whether shared.value improved during the call
+    exhausted: bool     # True when the given work is now empty
+
+
+class _Frame:
+    """One DFS stack level: the node whose children are being enumerated."""
+
+    __slots__ = ("entry_job", "front", "remaining", "rank", "frame_data")
+
+    def __init__(self, entry_job, front, remaining, rank, frame_data):
+        self.entry_job = entry_job    # job scheduled to create this node
+        self.front = front            # machine completion times of the prefix
+        self.remaining = remaining    # unscheduled jobs, ascending
+        self.rank = rank              # next child index to enumerate
+        self.frame_data = frame_data  # bound's per-frame precomputation
+
+
+class BnBEngine:
+    """Explorer bound to one instance + lower bound (see module docstring)."""
+
+    def __init__(self, instance: FlowshopInstance,
+                 bound: LowerBound | str = "lb1") -> None:
+        self.instance = instance
+        self.bound = get_bound(bound) if isinstance(bound, str) else bound
+        self.bound.attach(instance)
+        self.n = instance.n_jobs
+        self.m = instance.n_machines
+        self.fact = factorials(self.n)
+        self._p = [list(row) for row in instance.p]
+
+    # -- public API ----------------------------------------------------------
+
+    def explore(self, work: BnBWork, shared: BoundState,
+                max_nodes: int) -> ExploreResult:
+        """Explore up to ``max_nodes`` nodes of ``work``; mutates both."""
+        if work.n_jobs != self.n:
+            raise SimConfigError("work does not match this engine's instance")
+        total = 0
+        improved = False
+        while total < max_nodes:
+            head = work.head()
+            if head is None:
+                break
+            nodes, pos, imp = self._explore_interval(
+                head[0], head[1], shared, max_nodes - total)
+            total += nodes
+            improved = improved or imp
+            if pos >= head[1]:
+                work.pop_head()
+            else:
+                head[0] = pos
+            if nodes == 0 and pos < head[1]:  # budget exhausted mid-rebuild
+                break
+        return ExploreResult(nodes=total, improved=improved,
+                             exhausted=work.head() is None)
+
+    def solve(self, shared: BoundState | None = None,
+              quantum: int = 100_000,
+              max_nodes: int | None = None) -> tuple[int, tuple[int, ...], int]:
+        """Sequential B&B over the whole tree.
+
+        Returns (optimal makespan, an optimal permutation, explored nodes).
+        ``max_nodes`` guards against accidentally running an instance far
+        larger than intended.
+        """
+        shared = shared if shared is not None else BoundState()
+        work = BnBWork.full_tree(self.n)
+        nodes = 0
+        while not work.is_empty():
+            res = self.explore(work, shared, quantum)
+            nodes += res.nodes
+            if max_nodes is not None and nodes > max_nodes:
+                raise SimConfigError(
+                    f"B&B exceeded max_nodes={max_nodes:,} on "
+                    f"{self.instance.name}")
+        if shared.perm is None:
+            raise SimConfigError("search ended with no incumbent (bug)")
+        return shared.value, shared.perm, nodes
+
+    def decompose_block(self, a: int, shared: BoundState,
+                        width: int) -> tuple[list[tuple[int, int]], int, bool]:
+        """Expand the block [a, a+width) one level: bound each child.
+
+        Used by hierarchical master schemes (AHMW): the children of the
+        block's prefix node are bounded; surviving children come back as
+        their own (width/(n-d)) blocks, pruned ones are dropped, and leaf
+        children are evaluated on the spot. Returns (surviving child
+        blocks, bound/leaf evaluations performed, ub improved).
+
+        ``a`` must be aligned: width == (n-d)! for the prefix depth d and
+        ``a % width == 0`` within its parent block.
+        """
+        n, m = self.n, self.m
+        d = None
+        for k in range(n + 1):
+            if self.fact[k] == width:
+                d = n - k
+                break
+        if d is None or not (0 <= d < n):
+            raise SimConfigError(f"width {width} is not a valid block size")
+        digits = position_to_digits(a, n)
+        if any(digits[q] for q in range(d, n)):
+            raise SimConfigError(f"block start {a} is not aligned to {width}")
+        remaining = list(range(n))
+        front = [0] * m
+        prefix: list[int] = []
+        for q in range(d):
+            job = remaining.pop(digits[q])
+            prefix.append(job)
+            front = self.instance.advance(front, job)
+        ub = shared.value
+        improved = False
+        nodes = 0
+        out: list[tuple[int, int]] = []
+        child_width = self.fact[n - d - 1]
+        bound = self.bound
+        set_mask = getattr(bound, "set_mask", None)
+        mask = [j in remaining for j in range(n)]
+        if set_mask is not None:
+            set_mask(mask)
+        fd = bound.frame(remaining)
+        rem_sum = [sum(self._p[i][j] for j in remaining) for i in range(m)]
+        for rank, j in enumerate(remaining):
+            nf = self.instance.advance(front, j)
+            nodes += 1
+            start = a + rank * child_width
+            if len(remaining) == 1:
+                if nf[-1] < ub:
+                    ub = nf[-1]
+                    shared.update(ub, tuple(prefix) + (j,))
+                    improved = True
+                continue
+            mask[j] = False
+            rs = [rem_sum[i] - self._p[i][j] for i in range(m)]
+            lb = bound.child(nf, j, fd, rs)
+            mask[j] = True
+            if lb < ub:
+                out.append((start, start + child_width))
+        return out, nodes, improved
+
+    # -- the DFS ------------------------------------------------------------------
+
+    def _explore_interval(self, a: int, b: int, shared: BoundState,
+                          budget: int) -> tuple[int, int, bool]:
+        """DFS over leaves [a, b); returns (nodes, new position, improved)."""
+        n, m = self.n, self.m
+        p = self._p
+        fact = self.fact
+        bound = self.bound
+        unscheduled = [True] * n
+        rem_sum = [sum(row) for row in p]
+        set_mask = getattr(bound, "set_mask", None)
+        if set_mask is not None:
+            set_mask(unscheduled)
+
+        # -- rebuild the DFS stack from the factoradic digits of `a` --
+        #
+        # Let D be the deepest level whose digit is non-zero. For every level
+        # d < D the digit-child is *partially explored* (the leaf `a` lies
+        # strictly inside its block): push its frame with rank digit+1 — the
+        # deeper frames embody the in-progress child. At level D itself (and
+        # below) `a` coincides with block starts: those children are entirely
+        # fresh and must be enumerated (and bounded!) by the normal DFS, so
+        # the rebuild stops there with rank = digit. Path nodes are rebuilt
+        # without bound evaluations and without counting: they were counted
+        # when first entered, wherever that happened.
+        digits = position_to_digits(a, n)
+        deepest = -1
+        for d in range(n):
+            if digits[d]:
+                deepest = d
+        remaining = list(range(n))
+        front = [0] * m
+        frames: list[_Frame] = []
+        path_jobs: list[int] = []
+        for d in range(max(0, deepest) + 1):
+            fresh = d == deepest or deepest < 0
+            fr = _Frame(
+                entry_job=path_jobs[-1] if path_jobs else -1,
+                front=front,
+                remaining=remaining,
+                rank=digits[d] if fresh else digits[d] + 1,
+                frame_data=bound.frame(remaining),
+            )
+            frames.append(fr)
+            if fresh:
+                break
+            job = remaining[digits[d]]
+            path_jobs.append(job)
+            unscheduled[job] = False
+            for i in range(m):
+                rem_sum[i] -= p[i][job]
+            front = self.instance.advance(front, job)
+            remaining = remaining[:digits[d]] + remaining[digits[d] + 1:]
+
+        pos = a
+        nodes = 0
+        improved = False
+        ub = shared.value
+        # Pause only right after the position advanced (leaf or prune): at
+        # such moments every live frame has enumerated at least one child, so
+        # a later rebuild never re-bounds an already-counted node and the
+        # explored-node count is independent of the quantum size.
+        pause_ok = True
+
+        while frames and pos < b:
+            if pause_ok and nodes >= budget:
+                break
+            fr = frames[-1]
+            rem = fr.remaining
+            k = len(rem)
+            if fr.rank >= k:
+                # node exhausted: restore the job that created it
+                frames.pop()
+                if path_jobs:
+                    j = path_jobs.pop()
+                    unscheduled[j] = True
+                    for i in range(m):
+                        rem_sum[i] += p[i][j]
+                continue
+            j = rem[fr.rank]
+            fr.rank += 1
+            # child completion front
+            cfront = fr.front
+            nf = [0] * m
+            prev = 0
+            for i in range(m):
+                fi = cfront[i]
+                if prev < fi:
+                    prev = fi
+                prev += p[i][j]
+                nf[i] = prev
+            nodes += 1
+            if k == 1:
+                # complete permutation
+                pos += 1
+                pause_ok = True
+                if prev < ub:
+                    ub = prev
+                    shared.update(prev, tuple(path_jobs) + (j,))
+                    improved = True
+                continue
+            unscheduled[j] = False
+            for i in range(m):
+                rem_sum[i] -= p[i][j]
+            lb = bound.child(nf, j, fr.frame_data, rem_sum)
+            if lb < ub:
+                child_rem = rem[:fr.rank - 1] + rem[fr.rank:]
+                path_jobs.append(j)
+                frames.append(_Frame(entry_job=j, front=nf,
+                                     remaining=child_rem, rank=0,
+                                     frame_data=bound.frame(child_rem)))
+                pause_ok = False
+            else:
+                # prune: skip the child's whole leaf block
+                pos += fact[k - 1]
+                pause_ok = True
+                unscheduled[j] = True
+                for i in range(m):
+                    rem_sum[i] += p[i][j]
+        if not frames:
+            pos = b  # finished everything we were given
+        return nodes, pos, improved
+
+
+def solve_bruteforce(instance: FlowshopInstance) -> tuple[int, tuple[int, ...]]:
+    """Exhaustive oracle for tiny instances (tests)."""
+    from itertools import permutations
+    if instance.n_jobs > 9:
+        raise SimConfigError("brute force capped at 9 jobs")
+    best, best_perm = INF, None
+    for perm in permutations(range(instance.n_jobs)):
+        c = instance.makespan(perm)
+        if c < best:
+            best, best_perm = c, perm
+    return best, best_perm
+
+
+__all__ = ["BnBEngine", "ExploreResult", "solve_bruteforce"]

@@ -1,0 +1,102 @@
+"""Interval (factoradic) encoding of the permutation B&B tree.
+
+The work encoding of Mezmaz, Melab & Talbi (IPDPS 2007), used verbatim by
+the paper: label the leaves of the permutation tree 0 .. n!-1 in DFS order.
+A node at depth d (d jobs fixed) covers a contiguous block of (n-d)!
+leaves, so *any* sub-tree is an interval of [0, n!), and an arbitrary union
+of pending sub-trees is a set of disjoint intervals — a work descriptor of a
+few integers, however much search it represents.
+
+The bijection: the leaf index of a permutation is the mixed-radix
+(factoradic) number whose digit at depth d is the *rank* of the chosen job
+within the not-yet-scheduled jobs sorted by job id.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+from ..sim.errors import SimConfigError
+
+
+@lru_cache(maxsize=None)
+def factorials(n: int) -> tuple[int, ...]:
+    """(0!, 1!, ..., n!) as exact Python ints."""
+    if n < 0:
+        raise SimConfigError("n must be >= 0")
+    out = [1]
+    for k in range(1, n + 1):
+        out.append(out[-1] * k)
+    return tuple(out)
+
+
+def tree_leaves(n: int) -> int:
+    """Total leaves of the permutation tree: n!."""
+    return factorials(n)[n]
+
+
+def position_to_digits(pos: int, n: int) -> list[int]:
+    """Factoradic digits of a leaf position; digit d is in [0, n-d)."""
+    if not (0 <= pos < tree_leaves(n)):
+        raise SimConfigError(f"position {pos} outside [0, {n}!)")
+    fact = factorials(n)
+    digits = []
+    for d in range(n):
+        block = fact[n - d - 1]
+        digits.append(pos // block)
+        pos %= block
+    return digits
+
+
+def digits_to_position(digits: Sequence[int], n: int) -> int:
+    """Inverse of :func:`position_to_digits`."""
+    if len(digits) != n:
+        raise SimConfigError("digit count must equal n")
+    fact = factorials(n)
+    pos = 0
+    for d, digit in enumerate(digits):
+        if not (0 <= digit < n - d):
+            raise SimConfigError(f"digit {digit} at depth {d} outside "
+                                 f"[0, {n - d})")
+        pos += digit * fact[n - d - 1]
+    return pos
+
+
+def position_to_permutation(pos: int, n: int) -> list[int]:
+    """The complete permutation at leaf ``pos`` (jobs 0..n-1)."""
+    digits = position_to_digits(pos, n)
+    remaining = list(range(n))
+    return [remaining.pop(d) for d in digits]
+
+
+def permutation_to_position(perm: Sequence[int]) -> int:
+    """Leaf index of a complete permutation."""
+    n = len(perm)
+    if sorted(perm) != list(range(n)):
+        raise SimConfigError(f"{list(perm)} is not a permutation of 0..{n - 1}")
+    remaining = list(range(n))
+    digits = []
+    for job in perm:
+        d = remaining.index(job)
+        digits.append(d)
+        remaining.pop(d)
+    return digits_to_position(digits, n)
+
+
+def prefix_block(prefix_digits: Sequence[int], n: int) -> tuple[int, int]:
+    """[start, end) of leaves under the node reached by ``prefix_digits``."""
+    fact = factorials(n)
+    start = 0
+    for d, digit in enumerate(prefix_digits):
+        if not (0 <= digit < n - d):
+            raise SimConfigError(f"digit {digit} at depth {d} outside "
+                                 f"[0, {n - d})")
+        start += digit * fact[n - d - 1]
+    width = fact[n - len(prefix_digits)]
+    return start, start + width
+
+
+__all__ = ["factorials", "tree_leaves", "position_to_digits",
+           "digits_to_position", "position_to_permutation",
+           "permutation_to_position", "prefix_block"]

@@ -1,0 +1,91 @@
+"""Johnson's rule: exact two-machine flow-shop sequencing (Johnson 1954).
+
+Used by the LLRK lower bound (:mod:`repro.bnb.bounds`): each pair of
+machines, with the machines in between folded into job lags, is relaxed to a
+two-machine flow shop whose optimal makespan Johnson's rule gives exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def johnson_order(a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Optimal job order for a 2-machine flow shop with times (a_j, b_j).
+
+    Johnson's rule: jobs with a_j <= b_j first, by increasing a_j; then the
+    rest by decreasing b_j. Ties broken by job index (deterministic).
+    """
+    if len(a) != len(b):
+        raise ValueError("a and b must have equal length")
+    first = sorted((j for j in range(len(a)) if a[j] <= b[j]),
+                   key=lambda j: (a[j], j))
+    last = sorted((j for j in range(len(a)) if a[j] > b[j]),
+                  key=lambda j: (-b[j], j))
+    return first + last
+
+
+def two_machine_makespan(a: Sequence[int], b: Sequence[int],
+                         order: Sequence[int],
+                         start_a: int = 0, start_b: int = 0) -> int:
+    """Makespan of the given order on two machines, with machine-ready times.
+
+    ``start_a``/``start_b`` let the caller seed the machines with the
+    completion times of an already-fixed prefix (how the B&B bound uses it).
+    """
+    ta, tb = start_a, start_b
+    for j in order:
+        ta += a[j]
+        tb = max(tb, ta) + b[j]
+    return tb
+
+
+def two_machine_optimal(a: Sequence[int], b: Sequence[int],
+                        start_a: int = 0, start_b: int = 0) -> int:
+    """Optimal 2-machine makespan (Johnson order + evaluation)."""
+    return two_machine_makespan(a, b, johnson_order(a, b), start_a, start_b)
+
+
+def lag_order(a: Sequence[int], b: Sequence[int],
+              lag: Sequence[int]) -> list[int]:
+    """Optimal order for 2 machines with job time lags.
+
+    Job j occupies machine 1 for a_j, must then wait at least lag_j, and
+    occupies machine 2 for b_j. With the in-between capacity relaxed (the
+    LLRK machine-pair relaxation), Johnson's rule on the transformed times
+    (a_j + lag_j, lag_j + b_j) is exactly optimal (Lageweg, Lenstra &
+    Rinnooy Kan 1978).
+    """
+    if not (len(a) == len(b) == len(lag)):
+        raise ValueError("a, b and lag must have equal length")
+    ta = [a[j] + lag[j] for j in range(len(a))]
+    tb = [lag[j] + b[j] for j in range(len(b))]
+    return johnson_order(ta, tb)
+
+
+def lag_makespan(a: Sequence[int], b: Sequence[int], lag: Sequence[int],
+                 order: Sequence[int],
+                 start_a: int = 0, start_b: int = 0) -> int:
+    """Makespan of a given order on 2 lagged machines (machines FIFO).
+
+    Machine-2 start of job j >= its machine-1 completion + lag_j, and
+    machine 2 processes jobs in the given order.
+    """
+    ta, tb = start_a, start_b
+    for j in order:
+        ta += a[j]
+        ready = ta + lag[j]
+        if ready > tb:
+            tb = ready
+        tb += b[j]
+    return tb
+
+
+def lag_optimal(a: Sequence[int], b: Sequence[int], lag: Sequence[int],
+                start_a: int = 0, start_b: int = 0) -> int:
+    """Optimal lagged 2-machine makespan (permutation schedules)."""
+    return lag_makespan(a, b, lag, lag_order(a, b, lag), start_a, start_b)
+
+
+__all__ = ["johnson_order", "two_machine_makespan", "two_machine_optimal",
+           "lag_order", "lag_makespan", "lag_optimal"]

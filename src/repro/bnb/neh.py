@@ -1,0 +1,51 @@
+"""The NEH constructive heuristic (Nawaz, Enscore & Ham, 1983).
+
+The standard way to obtain a strong initial upper bound for flow-shop B&B:
+order jobs by decreasing total processing time, then insert each job at the
+makespan-minimising position of the growing partial sequence. O(n³·m) here
+(n <= 20 for every instance in this repository, so no acceleration needed).
+
+The experiment harness warm-starts every worker — and the sequential
+reference — with the NEH bound: on the paper's day-long instances the
+from-scratch bound converges within the first fraction of a percent of the
+run, so warm-starting reproduces that regime on scaled instances instead of
+letting bound-ramp-up noise drown the load-balancing signal the paper
+measures (see DESIGN.md §2 and EXPERIMENTS.md). Cold runs remain available
+everywhere (``warm_start=False``).
+"""
+
+from __future__ import annotations
+
+from .flowshop import FlowshopInstance
+
+
+def neh_order(instance: FlowshopInstance) -> list[int]:
+    """Jobs by decreasing total processing time (NEH's priority rule)."""
+    totals = [sum(instance.p[i][j] for i in range(instance.n_machines))
+              for j in range(instance.n_jobs)]
+    return sorted(range(instance.n_jobs), key=lambda j: (-totals[j], j))
+
+
+def neh(instance: FlowshopInstance) -> tuple[int, list[int]]:
+    """Run NEH; returns (makespan, permutation)."""
+    order = neh_order(instance)
+    seq: list[int] = [order[0]]
+    for job in order[1:]:
+        best_c, best_seq = None, None
+        for pos in range(len(seq) + 1):
+            cand = seq[:pos] + [job] + seq[pos:]
+            c = _partial_makespan(instance, cand)
+            if best_c is None or c < best_c:
+                best_c, best_seq = c, cand
+        seq = best_seq
+    return instance.makespan(seq) if len(seq) == instance.n_jobs else best_c, seq
+
+
+def _partial_makespan(instance: FlowshopInstance, seq: list[int]) -> int:
+    front = [0] * instance.n_machines
+    for j in seq:
+        front = instance.advance(front, j)
+    return front[-1]
+
+
+__all__ = ["neh", "neh_order"]

@@ -1,0 +1,55 @@
+"""Shared best-bound state of one B&B participant."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+#: "No solution known yet": the paper runs B&B from scratch with no initial
+#: upper bound.
+INF = 2**62
+
+
+class BoundState:
+    """Best-known upper bound (and incumbent) of one node.
+
+    In the real system every process holds its own copy, kept loosely
+    synchronised by the protocol's diffusion messages; ``version`` counts
+    local improvements so diffusion layers can detect novelty cheaply.
+    """
+
+    __slots__ = ("value", "perm", "perm_value", "version")
+
+    def __init__(self, value: int = INF,
+                 perm: Optional[Sequence[int]] = None) -> None:
+        self.value = value
+        self.perm = tuple(perm) if perm is not None else None
+        self.perm_value = value if perm is not None else INF
+        self.version = 0
+
+    def update(self, value: int,
+               perm: Optional[Sequence[int]] = None) -> bool:
+        """Adopt a better bound; True iff it improved the current one.
+
+        ``perm`` is the incumbent achieving ``value`` when locally found;
+        diffused values arrive without one (``perm_value`` remembers which
+        value the stored incumbent actually achieves).
+        """
+        if value >= self.value:
+            return False
+        self.value = value
+        if perm is not None:
+            self.perm = tuple(perm)
+            self.perm_value = value
+        self.version += 1
+        return True
+
+    def snapshot(self) -> tuple[int, Optional[tuple[int, ...]]]:
+        """(value, incumbent) pair, for reporting."""
+        return self.value, self.perm
+
+    def __repr__(self) -> str:  # pragma: no cover
+        v = "inf" if self.value >= INF else str(self.value)
+        return f"BoundState(value={v})"
+
+
+__all__ = ["BoundState", "INF"]

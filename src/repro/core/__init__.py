@@ -1,0 +1,12 @@
+"""The paper's contribution: overlay-centric load balancing."""
+
+from .config import OCLBConfig
+from .oclb import BRIDGE, DOWN, REQ, UP, OverlayWorker
+from .termination import TerminationWaves
+from .worker import BOUND, WORK, WorkerConfig, WorkerProcess
+
+__all__ = [
+    "OverlayWorker", "OCLBConfig", "WorkerProcess", "WorkerConfig",
+    "TerminationWaves", "WORK", "BOUND", "REQ", "UP", "DOWN",
+    "BRIDGE",
+]

@@ -1,0 +1,46 @@
+"""Configuration of the overlay-centric load balancer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.errors import SimConfigError
+
+
+@dataclass(slots=True)
+class OCLBConfig:
+    """Tunables of the overlay-centric protocol (paper §II).
+
+    Attributes:
+        sharing: work-sharing policy name — ``"proportional"`` is the
+            paper's contribution; ``"half"`` / ``"steal-1"`` / ... give the
+            Fig. 2 baselines (see :mod:`repro.work.sharing`).
+        wave_retry: pause between inconclusive termination waves.
+        probe_retry: pause before an idle node starts a fresh down-phase
+            probing round (idle nodes keep searching, paced by this).
+        convergecast: compute subtree sizes with the distributed
+            converge-cast protocol (paper-faithful). Setting it False reads
+            the sizes off the overlay object instantly — a what-if knob for
+            ablations; the results are identical, only the bootstrap
+            messages disappear.
+    """
+
+    sharing: str = "proportional"
+    wave_retry: float = 2e-3
+    probe_retry: float = 2.5e-4
+    convergecast: bool = True
+    withdraw: bool = True
+    #: heterogeneity extension (the paper's stated future work): subtree
+    #: "sizes" aggregate per-node compute capacities instead of node
+    #: counts, so proportional shares track capacity. Requires the
+    #: converge-cast bootstrap (capacities are only known locally).
+    capacity_aware: bool = False
+
+    def __post_init__(self) -> None:
+        if self.wave_retry <= 0:
+            raise SimConfigError("wave_retry must be > 0")
+        if self.probe_retry <= 0:
+            raise SimConfigError("probe_retry must be > 0")
+
+
+__all__ = ["OCLBConfig"]

@@ -1,0 +1,171 @@
+"""Wave-based distributed termination detection (four-counter method).
+
+Used where the pure tree-request argument is not enough: BTD (bridges let
+work re-enter "exhausted" subtrees) and RWS (no structure at all). A
+spanning tree carries verification waves initiated by the root:
+
+* ``WAVE`` floods down the tree; each node answers ``WAVE_R`` up once all
+  its children answered, aggregating (work messages sent, work messages
+  received, anyone active);
+* a wave is *clean* when totals satisfy S == R and nobody was active;
+* the root terminates after two consecutive clean waves with identical S —
+  Mattern's rule: equal counters across both waves prove no transfer
+  happened in between, and S == R proves no grant is in flight, so global
+  quiescence held throughout.
+
+The tests attack this with random latency jitter and adversarial bridges;
+a false positive would surface as lost work (count mismatch) or a WORK
+message after termination (a hard simulator error).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim.messages import Message
+from ..sim.process import SimProcess
+
+WAVE = "WAVE"
+WAVE_R = "WAVE_R"
+TERM = "TERM"
+
+#: (work_msgs_sent, work_msgs_received, active)
+Counters = tuple[int, int, bool]
+
+
+class TerminationWaves:
+    """Per-node wave component; the root drives, everyone relays.
+
+    Args:
+        host: the process this service sends/receives through.
+        parent: tree parent pid (-1 at the root).
+        children: tree children pids.
+        get_counters: samples this node's (sent, received, active).
+        on_terminate: called exactly once on every node when TERM arrives
+            (or, at the root, when it decides).
+        should_wave: root-only predicate — keep waving while it holds.
+        retry_delay: pause between inconclusive waves (virtual seconds).
+    """
+
+    def __init__(self, host: SimProcess, parent: int, children: list[int],
+                 get_counters: Callable[[], Counters],
+                 on_terminate: Callable[[], None],
+                 should_wave: Optional[Callable[[], bool]] = None,
+                 retry_delay: float = 2e-3) -> None:
+        self.host = host
+        self.parent = parent
+        self.children = list(children)
+        self.get_counters = get_counters
+        self.on_terminate = on_terminate
+        self.should_wave = should_wave or (lambda: True)
+        self.retry_delay = retry_delay
+        self.is_root = parent < 0
+        self.wave_seq = 0
+        self._collecting = False
+        self._acc_s = 0
+        self._acc_r = 0
+        self._acc_active = False
+        self._missing = 0
+        self._last_clean_s: Optional[int] = None
+        self._retry_pending = False
+        self._backoff = 1.0
+        self.terminated = False
+        self.waves_run = 0
+
+    # -- root API --------------------------------------------------------------
+
+    def root_try(self) -> None:
+        """Root: start a verification wave if none is in flight."""
+        if not self.is_root or self._collecting or self.terminated:
+            return
+        if not self.should_wave():
+            return
+        self.wave_seq += 1
+        self.waves_run += 1
+        self._begin_collect()
+
+    def declare(self) -> None:
+        """Declare termination directly (protocols with their own proof)."""
+        self._terminate()
+
+    # -- message plumbing ----------------------------------------------------------
+
+    def handles(self, kind: str) -> bool:
+        return kind in (WAVE, WAVE_R, TERM)
+
+    def handle(self, msg: Message) -> bool:
+        if msg.kind == WAVE:
+            self.wave_seq = msg.payload
+            self._begin_collect()
+            return True
+        if msg.kind == WAVE_R:
+            seq, s, r, active = msg.payload
+            if seq != self.wave_seq or not self._collecting:
+                return True  # stale reply from an aborted wave
+            self._acc_s += s
+            self._acc_r += r
+            self._acc_active = self._acc_active or active
+            self._missing -= 1
+            if self._missing == 0:
+                self._complete()
+            return True
+        if msg.kind == TERM:
+            self._terminate()
+            return True
+        return False
+
+    # -- internals -----------------------------------------------------------------
+
+    def _begin_collect(self) -> None:
+        self._collecting = True
+        s, r, active = self.get_counters()
+        self._acc_s, self._acc_r, self._acc_active = s, r, active
+        self._missing = len(self.children)
+        for c in self.children:
+            self.host.send(c, WAVE, self.wave_seq, body_bytes=8)
+        if self._missing == 0:
+            self._complete()
+
+    def _complete(self) -> None:
+        self._collecting = False
+        if not self.is_root:
+            self.host.send(self.parent, WAVE_R,
+                           (self.wave_seq, self._acc_s, self._acc_r,
+                            self._acc_active), body_bytes=24)
+            return
+        clean = (not self._acc_active) and self._acc_s == self._acc_r
+        if clean and self._last_clean_s == self._acc_s:
+            self._terminate()
+            return
+        if clean:
+            self._last_clean_s = self._acc_s
+            self._backoff = 1.0  # confirmation wave should follow promptly
+        else:
+            self._last_clean_s = None
+            # exponential backoff: an active system does not need the root
+            # to keep flooding verification waves
+            self._backoff = min(self._backoff * 2.0, 64.0)
+        self._schedule_retry()
+
+    def _schedule_retry(self) -> None:
+        if self._retry_pending or self.terminated:
+            return
+        self._retry_pending = True
+
+        def retry() -> None:
+            self._retry_pending = False
+            self.root_try()
+
+        self.host.call_after(self.retry_delay * self._backoff, retry,
+                             tag=f"wave-retry@{self.host.pid}")
+
+    def _terminate(self) -> None:
+        if self.terminated:
+            return
+        self.terminated = True
+        for c in self.children:
+            self.host.send(c, TERM, None)
+        self.on_terminate()
+
+
+__all__ = ["TerminationWaves", "WAVE", "WAVE_R", "TERM"]

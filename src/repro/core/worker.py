@@ -1,0 +1,177 @@
+"""Protocol-agnostic worker: compute quanta, work transfer, bound gossip.
+
+A :class:`WorkerProcess` alternates compute quanta (``quantum`` work units,
+priced at the application's ``unit_cost``) with message handling. Between
+quanta (and whenever it is idle) its inbox drains; protocol subclasses react
+in :meth:`handle` / :meth:`on_idle` / :meth:`on_work_received`.
+
+Shared-knowledge diffusion (the B&B upper bound) is implemented here once
+for all protocols as monotone gossip over protocol-chosen targets: a worker
+that improves its bound pushes it to ``gossip_targets()``; a received value
+that improves the local bound is forwarded onward; stale values die
+immediately. For UTS there is nothing to share and the machinery is inert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..apps.base import Application
+from ..sim.messages import Message
+from ..sim.process import SimProcess
+from ..work.base import WorkItem
+
+#: Message kinds owned by the base worker.
+WORK = "WORK"
+BOUND = "BOUND"
+
+
+@dataclass(slots=True)
+class WorkerConfig:
+    """Tunables common to every protocol."""
+
+    quantum: int = 64            # work units per compute quantum
+    gossip_bounds: bool = True   # diffuse shared-knowledge improvements
+    seed: int = 0                # protocol randomness root
+    speed: float = 1.0           # relative CPU speed (heterogeneity knob)
+
+
+class WorkerProcess(SimProcess):
+    """Base class of every load-balancing protocol's worker."""
+
+    def __init__(self, pid: int, app: Application, cfg: WorkerConfig,
+                 has_initial_work: bool = False) -> None:
+        super().__init__(pid)
+        self.app = app
+        self.cfg = cfg
+        self.work: WorkItem = (app.initial_work() if has_initial_work
+                               else app.empty_work())
+        self.shared = app.make_shared()
+        self.terminated = False
+        #: optional repro.sim.trace.Tracer; set by the harness, zero cost
+        #: when absent
+        self.tracer = None
+
+    # -- protocol hooks ---------------------------------------------------------
+
+    def on_idle(self) -> None:
+        """CPU free, no local work, not terminated: go find some."""
+
+    def handle(self, msg: Message) -> None:
+        """Protocol-specific message (anything but WORK/BOUND)."""
+
+    def on_work_received(self, msg: Message) -> None:
+        """After a WORK message was merged (clear request bookkeeping)."""
+
+    def on_quantum_done(self, units: int) -> None:
+        """After each compute quantum (serve queued requesters, etc.)."""
+
+    def gossip_targets(self) -> list[int]:
+        """Where to diffuse shared-knowledge improvements."""
+        return []
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> None:
+        # everything starts through the event loop so subclass start() code
+        # runs for every process before the first quantum fires
+        self.call_after(0.0, self._drain, tag=f"kick@{self.pid}")
+
+    def finished(self) -> bool:
+        return self.terminated
+
+    def finish(self) -> None:
+        """Record local termination (idempotent)."""
+        if not self.terminated:
+            self.terminated = True
+            self.stats.finish_time = self.now
+            if self.tracer is not None:
+                from ..sim.trace import FINISH
+                self.tracer.record(self.now, self.pid, FINISH)
+
+    # -- compute loop -----------------------------------------------------------------
+
+    def on_cpu_free(self) -> None:
+        if self.terminated:
+            return
+        if not self.work.is_empty():
+            self._run_quantum()
+        else:
+            if self.tracer is not None:
+                from ..sim.trace import IDLE
+                self.tracer.record(self.now, self.pid, IDLE)
+            self.on_idle()
+
+    def _run_quantum(self) -> None:
+        outcome = self.app.process(self.work, self.cfg.quantum, self.shared)
+        if outcome.units <= 0:
+            # a non-empty container that yields nothing is drained
+            self.on_idle()
+            return
+        duration = outcome.units * self.app.unit_cost / self.cfg.speed
+        st = self.stats
+        st.work_units += outcome.units
+        st.busy_time += duration
+        self.occupy(duration,
+                    lambda: self._quantum_done(outcome.units,
+                                               outcome.improved),
+                    tag=f"quantum@{self.pid}")
+
+    def _quantum_done(self, units: int, improved: bool) -> None:
+        self.sim.note_work_done()
+        if self.tracer is not None:
+            from ..sim.trace import QUANTUM
+            self.tracer.record(self.now, self.pid, QUANTUM, units)
+        if improved and self.cfg.gossip_bounds:
+            self._gossip(exclude=-1)
+        self.on_quantum_done(units)
+        # _drain (in SimProcess.occupy) now absorbs queued messages and
+        # re-enters on_cpu_free, chaining the next quantum or idling.
+
+    # -- work transfer ----------------------------------------------------------------
+
+    def send_work(self, dst: int, piece: WorkItem, channel: str = "") -> None:
+        """Ship a work piece; counted for the termination-detection waves."""
+        self.stats.work_msgs_sent += 1
+        self.send(dst, WORK, (piece, channel),
+                  body_bytes=piece.encoded_bytes())
+
+    def on_message(self, msg: Message) -> None:
+        if self.tracer is not None:
+            from ..sim.trace import MESSAGE
+            self.tracer.record(self.now, self.pid, MESSAGE, 1.0)
+        if self.terminated:
+            if msg.kind == WORK:
+                # a correct protocol never terminates with work in flight;
+                # losing it silently would corrupt results, so fail loudly
+                from ..sim.errors import SimRuntimeError
+                raise SimRuntimeError(
+                    f"worker {self.pid} received WORK after termination")
+            return
+        if msg.kind == WORK:
+            piece, _channel = msg.payload
+            self.stats.work_msgs_received += 1
+            self.stats.steals_successful += 1
+            self.work.merge(piece)
+            self.on_work_received(msg)
+            return
+        if msg.kind == BOUND:
+            if self.shared is not None and self.app.absorb_value(
+                    self.shared, msg.payload):
+                self._gossip(exclude=msg.src)
+            return
+        self.handle(msg)
+
+    def _gossip(self, exclude: int) -> None:
+        if self.shared is None:
+            return
+        value = self.app.shared_value(self.shared)
+        if value is None:
+            return
+        for t in self.gossip_targets():
+            if t != exclude and t != self.pid:
+                self.send(t, BOUND, value, body_bytes=8)
+
+
+__all__ = ["WorkerProcess", "WorkerConfig", "WORK", "BOUND"]

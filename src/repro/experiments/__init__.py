@@ -1,0 +1,18 @@
+"""Reproduction harness: one module per table/figure of the paper.
+
+``python -m repro.experiments --all --scale quick`` regenerates everything;
+see :mod:`repro.experiments.registry` for the experiment index and
+DESIGN.md §4 for what each one shows.
+"""
+
+from .base import ExperimentReport
+from .config import SCALES, Scale, get_scale
+from .registry import EXPERIMENTS, ORDER, get_experiment
+from .runner import (PROTOCOLS, ExperimentResult, RunConfig, TrialStats,
+                     build_workers, run_once, run_trials)
+
+__all__ = [
+    "ExperimentReport", "Scale", "SCALES", "get_scale", "EXPERIMENTS",
+    "ORDER", "get_experiment", "RunConfig", "ExperimentResult", "TrialStats",
+    "PROTOCOLS", "build_workers", "run_once", "run_trials",
+]

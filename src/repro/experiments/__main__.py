@@ -1,0 +1,84 @@
+"""CLI for regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments --all --scale quick
+    python -m repro.experiments table1 fig5 --scale default --out results.txt
+    repro-experiments fig3                      # console script
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import SCALES, get_scale
+from .registry import ORDER, get_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables/figures of 'Overlay-Centric "
+                    "Load Balancing' (CLUSTER 2012) on the simulator.")
+    parser.add_argument("experiments", nargs="*",
+                        help=f"experiment ids: {', '.join(ORDER)}")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment in paper order")
+    parser.add_argument("--scale", default="default", choices=sorted(SCALES),
+                        help="workload scale (default: default)")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="override the scale's trial count")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the scale's base seed")
+    parser.add_argument("--out", default=None,
+                        help="also append the reports to this file")
+    parser.add_argument("--json", default=None,
+                        help="write JSON summaries of the reports here")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id in ORDER:
+            print(exp_id)
+        return 0
+    ids = list(ORDER) if args.all else args.experiments
+    if not ids:
+        parser.error("give experiment ids or --all (see --list)")
+    scale = get_scale(args.scale)
+    if args.trials is not None or args.seed is not None:
+        import dataclasses
+        overrides = {}
+        if args.trials is not None:
+            if args.trials < 1:
+                parser.error("--trials must be >= 1")
+            overrides["trials"] = args.trials
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        scale = dataclasses.replace(scale, **overrides)
+    out_fh = open(args.out, "a") if args.out else None
+    summaries = []
+    try:
+        for exp_id in ids:
+            report = get_experiment(exp_id)(scale)
+            text = report.render()
+            print(text)
+            print()
+            summaries.append(report.summary())
+            if out_fh:
+                out_fh.write(text + "\n\n")
+                out_fh.flush()
+            if args.json:
+                import json
+                with open(args.json, "w") as fh:
+                    json.dump({"scale": scale.name,
+                               "reports": summaries}, fh, indent=2)
+    finally:
+        if out_fh:
+            out_fh.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Shared plumbing for the table/figure reproduction modules."""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..apps.base import Application
+from .config import Scale
+from .report import banner
+from .runner import RunConfig, TrialStats, run_trials
+
+
+@dataclass
+class ExperimentReport:
+    """The textual + structured outcome of one reproduced table/figure."""
+
+    exp_id: str
+    title: str
+    expectation: str                  # the paper's qualitative claim
+    sections: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def render(self) -> str:
+        """The full human-readable report."""
+        parts = [banner(f"{self.exp_id}: {self.title}"),
+                 f"paper expectation: {self.expectation}", ""]
+        parts.extend(self.sections)
+        parts.append(f"\n[generated in {self.wall_seconds:.1f}s wall time]")
+        return "\n".join(parts)
+
+    def summary(self) -> dict:
+        """JSON-safe summary (for --json): metadata + rendered sections."""
+        return {
+            "experiment": self.exp_id,
+            "title": self.title,
+            "expectation": self.expectation,
+            "sections": list(self.sections),
+            "wall_seconds": round(self.wall_seconds, 2),
+        }
+
+
+def timed(fn: Callable[[], ExperimentReport]) -> ExperimentReport:
+    """Run an experiment builder and stamp its wall time."""
+    t0 = time.perf_counter()
+    report = fn()
+    report.wall_seconds = time.perf_counter() - t0
+    return report
+
+
+def progress(msg: str) -> None:
+    """Lightweight progress line (stderr, so stdout stays clean)."""
+    print(f"    .. {msg}", file=sys.stderr, flush=True)
+
+
+def trial_stats(scale: Scale, app_factory: Callable[[], Application],
+                trials: int | None = None, **cfg_kwargs) -> TrialStats:
+    """Run seeded trials of one configuration (default: ``scale.trials``)."""
+    cfg = RunConfig(seed=scale.seed, **cfg_kwargs)
+    return run_trials(cfg, app_factory, trials or scale.trials)
+
+
+__all__ = ["ExperimentReport", "timed", "progress", "trial_stats"]

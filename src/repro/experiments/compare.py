@@ -1,0 +1,104 @@
+"""Ad-hoc protocol comparisons: the research tool behind the fixed figures.
+
+``python -m repro.experiments.compare`` runs any set of protocols over any
+workload/worker-count grid and prints time, efficiency and traffic side by
+side::
+
+    python -m repro.experiments.compare --protocols BTD RWS MW \\
+        --app bnb:3 --n 32 128 --trials 2
+    python -m repro.experiments.compare --protocols TD BTD LIFELINE \\
+        --app uts:bin_small --n 64 --quantum 256
+
+Workload specs: ``uts:<preset>`` (see ``repro.uts.PRESETS``) or
+``bnb:<k>[:jobs[:machines]]`` for the scaled Taillard instance Ta(20+k),
+NEH warm-started.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from ..apps.base import Application
+from ..apps.bnb_app import BnBApplication
+from ..apps.uts_app import UTSApplication
+from ..bnb.taillard import scaled_instance
+from ..sim.errors import SimConfigError
+from ..uts.params import get_preset
+from .report import render_table
+from .runner import PROTOCOLS, RunConfig, run_trials
+from .seqref import sequential_time
+
+
+def parse_app(spec: str) -> Callable[[], Application]:
+    """Turn an ``uts:...`` / ``bnb:...`` spec into an application factory."""
+    kind, _, rest = spec.partition(":")
+    if kind == "uts":
+        preset = get_preset(rest or "bin_small")
+        return lambda: UTSApplication(preset.params)
+    if kind == "bnb":
+        parts = [p for p in rest.split(":") if p]
+        if not parts:
+            raise SimConfigError("bnb spec needs an instance index, "
+                                 "e.g. bnb:1 for Ta21")
+        idx = int(parts[0])
+        jobs = int(parts[1]) if len(parts) > 1 else 10
+        machines = int(parts[2]) if len(parts) > 2 else 10
+        inst = scaled_instance(idx, n_jobs=jobs, n_machines=machines)
+        return lambda: BnBApplication(inst, warm_start=True)
+    raise SimConfigError(f"unknown app spec {spec!r} (uts:<preset> | "
+                         "bnb:<k>[:jobs[:machines]])")
+
+
+def compare(protocols: list[str], app_factory: Callable[[], Application],
+            ns: list[int], quantum: int, trials: int, seed: int,
+            dmax: int = 10) -> list[list]:
+    """Run the grid; returns table rows (also the CLI's output)."""
+    t_seq = sequential_time(app_factory())
+    rows = []
+    for n in ns:
+        for proto in protocols:
+            ts = run_trials(RunConfig(protocol=proto, n=n, dmax=dmax,
+                                      quantum=quantum, seed=seed),
+                            app_factory, trials)
+            r0 = ts.results[0]
+            optimum = r0.optimum
+            rows.append([
+                n, proto, ts.t_avg * 1e3, ts.t_std * 1e3,
+                100 * t_seq / (n * ts.t_avg),
+                sum(r.total_msgs for r in ts.results) // len(ts.results),
+                sum(r.total_steals for r in ts.results) // len(ts.results),
+                optimum,
+            ])
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.compare",
+        description="Head-to-head protocol comparison on one workload.")
+    parser.add_argument("--protocols", nargs="+", default=["BTD", "RWS"],
+                        choices=list(PROTOCOLS))
+    parser.add_argument("--app", default="uts:bin_tiny",
+                        help="uts:<preset> or bnb:<k>[:jobs[:machines]]")
+    parser.add_argument("--n", nargs="+", type=int, default=[64])
+    parser.add_argument("--quantum", type=int, default=64)
+    parser.add_argument("--dmax", type=int, default=10)
+    parser.add_argument("--trials", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    factory = parse_app(args.app)
+    rows = compare(args.protocols, factory, args.n, args.quantum,
+                   args.trials, args.seed, dmax=args.dmax)
+    print(render_table(
+        ["n", "protocol", "t_avg (ms)", "sigma (ms)", "PE %", "messages",
+         "work requests", "optimum"],
+        rows, title=f"{factory().describe()} — {args.trials} trial(s)",
+        digits=2))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

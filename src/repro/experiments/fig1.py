@@ -1,0 +1,93 @@
+"""Fig. 1 — degree/diameter analysis at n = 500 (paper top + bottom).
+
+Top: execution time as a function of dmax for two B&B instances (Ta21,
+Ta23) — time falls with degree, the gain saturates around dmax ~ 6.
+Bottom: number of messages sent per node (nodes in BFS order) for
+dmax = 2, 5, 10 — message load concentrates at interior (non-leaf) nodes
+as the degree grows.
+"""
+
+from __future__ import annotations
+
+from ..overlay.tree import deterministic_tree
+from .base import ExperimentReport, progress, timed, trial_stats
+from .config import Scale, bnb_app
+from .report import Series, render_series, render_table
+from .runner import RunConfig, run_once
+
+DMAX_SWEEP = (2, 3, 4, 5, 6, 7, 8, 9, 10)
+BOTTOM_DMAX = (2, 5, 10)
+
+
+def run(scale: Scale) -> ExperimentReport:
+    def build() -> ExperimentReport:
+        report = ExperimentReport(
+            exp_id="fig1",
+            title=f"degree/diameter study at n={scale.fig1_n}",
+            expectation=("execution time decreases with dmax, marginal gain "
+                         "beyond ~6; message traffic concentrates on "
+                         "interior nodes for larger dmax"),
+        )
+        n = scale.fig1_n
+        # ---- top: time vs dmax ----
+        series = []
+        data_top = {}
+        for idx, label in ((1, "Ta21"), (3, "Ta23")):
+            s = Series(name=label)
+            for dmax in DMAX_SWEEP:
+                progress(f"fig1-top {label} dmax={dmax}")
+                ts = trial_stats(scale, lambda: bnb_app(scale, idx, big=True),
+                                 trials=scale.scaling_trials,
+                                 protocol="TD", n=n, dmax=dmax,
+                                 quantum=scale.bnb_quantum)
+                s.add(dmax, ts.t_avg * 1e3)
+                data_top[(label, dmax)] = ts
+            series.append(s)
+        report.sections.append(render_series(
+            series, "dmax", "execution time (ms)",
+            title="-- Fig 1 top: TD execution time vs dmax --", digits=1))
+        report.sections.append("")
+
+        # ---- bottom: per-node message counts by BFS id ----
+        data_bottom = {}
+        rows = []
+        for dmax in BOTTOM_DMAX:
+            progress(f"fig1-bottom dmax={dmax}")
+            res = run_once(RunConfig(protocol="TD", n=n, dmax=dmax,
+                                     quantum=scale.bnb_quantum,
+                                     seed=scale.seed),
+                           bnb_app(scale, 1, big=True))
+            msgs = res.msgs_by_pid  # TD pids are BFS ids already
+            tree = deterministic_tree(n, dmax)
+            interior = [p for p in range(n) if tree.children[p]]
+            leaves = [p for p in range(n) if not tree.children[p]]
+            data_bottom[dmax] = msgs
+            rows.append([
+                dmax, len(interior), max(msgs),
+                sum(msgs[p] for p in interior) / max(1, len(interior)),
+                sum(msgs[p] for p in leaves) / max(1, len(leaves)),
+                (sum(msgs[p] for p in interior) / max(1, len(interior)))
+                / max(1e-9, sum(msgs[p] for p in leaves)
+                      / max(1, len(leaves))),
+            ])
+        report.sections.append(render_table(
+            ["dmax", "#interior", "max msgs/node", "mean msgs interior",
+             "mean msgs leaf", "interior/leaf ratio"],
+            rows, title="-- Fig 1 bottom: message distribution over nodes "
+                        "(full per-node series in report.data) --",
+            digits=1))
+        report.data = {"top": data_top, "bottom": data_bottom}
+        # shape check: saturation of the gain beyond dmax ~ 6
+        for s in series:
+            early = s.ys[s.xs.index(2)] - s.ys[s.xs.index(6)]
+            late = s.ys[s.xs.index(6)] - s.ys[s.xs.index(10)]
+            report.sections.append(
+                f"shape check {s.name}: gain 2->6 = {early:.1f} ms, "
+                f"gain 6->10 = {late:.1f} ms "
+                f"({'saturating' if abs(late) < abs(early) else 'NOT saturating'})")
+        return report
+
+    return timed(build)
+
+
+__all__ = ["run", "DMAX_SWEEP", "BOTTOM_DMAX"]

@@ -1,0 +1,78 @@
+"""Fig. 2 — subtree-proportional sharing vs steal-half.
+
+Top left: execution time of the ten B&B instances at n = 200, dmax = 10.
+Top right: total work requests injected into the network (correlated with
+execution time, per the paper). Bottom: UTS execution time as a function
+of overlay size for both policies. Paper finding: the overlay-proportional
+strategy beats steal-half across the board, on both metrics.
+"""
+
+from __future__ import annotations
+
+from .base import ExperimentReport, progress, timed, trial_stats
+from .config import Scale, bnb_app, uts_app
+from .report import Series, render_series, render_table
+
+POLICIES = (("proportional", "TD-proportional"), ("half", "TD-steal-half"))
+
+
+def run(scale: Scale) -> ExperimentReport:
+    def build() -> ExperimentReport:
+        report = ExperimentReport(
+            exp_id="fig2",
+            title="work-sharing policy: proportional vs steal-half",
+            expectation=("proportional beats steal-half on time and on "
+                         "total work requests, for B&B and UTS alike; the "
+                         "two metrics are correlated"),
+        )
+        # ---- top: ten B&B instances ----
+        rows = []
+        wins_t, wins_r = 0, 0
+        data = {}
+        for idx in range(1, 11):
+            name = f"Ta{20 + idx}"
+            row = [name]
+            per_policy = {}
+            for policy, label in POLICIES:
+                progress(f"fig2 {name} {label}")
+                ts = trial_stats(scale, lambda: bnb_app(scale, idx),
+                                 protocol="TD", n=scale.fig2_n, dmax=10,
+                                 sharing=policy, quantum=scale.bnb_quantum)
+                steals = sum(r.total_steals for r in ts.results) / len(ts.results)
+                per_policy[policy] = (ts.t_avg, steals)
+                row.extend([ts.t_avg * 1e3, steals])
+            data[name] = per_policy
+            wins_t += per_policy["proportional"][0] < per_policy["half"][0]
+            wins_r += per_policy["proportional"][1] < per_policy["half"][1]
+            rows.append(row)
+        report.sections.append(render_table(
+            ["instance", "prop t (ms)", "prop reqs", "half t (ms)",
+             "half reqs"],
+            rows,
+            title=f"-- Fig 2 top: B&B at n={scale.fig2_n}, dmax=10 --",
+            digits=1))
+        report.sections.append(
+            f"proportional wins on time {wins_t}/10, on requests {wins_r}/10")
+        report.sections.append("")
+
+        # ---- bottom: UTS vs overlay size ----
+        series = []
+        for policy, label in POLICIES:
+            s = Series(name=label)
+            for n in scale.fig2_uts_n:
+                progress(f"fig2-uts {label} n={n}")
+                ts = trial_stats(scale, lambda: uts_app(scale, "fig2"),
+                                 protocol="TD", n=n, dmax=10,
+                                 sharing=policy, quantum=scale.uts_quantum)
+                s.add(n, ts.t_avg * 1e3)
+            series.append(s)
+        report.sections.append(render_series(
+            series, "n", "execution time (ms)",
+            title="-- Fig 2 bottom: UTS --", digits=2))
+        report.data = {"bnb": data, "uts": series}
+        return report
+
+    return timed(build)
+
+
+__all__ = ["run", "POLICIES"]

@@ -1,0 +1,62 @@
+"""Fig. 3 — BTD vs Master-Worker vs Random Work Stealing (B&B, n = 200).
+
+Paper findings at this *low* scale: BTD wins the majority of the ten
+instances; MW is surprisingly competitive (it even beats RWS overall) —
+the centralized pool works fine when the master is not yet saturated.
+"""
+
+from __future__ import annotations
+
+from .base import ExperimentReport, progress, timed, trial_stats
+from .config import Scale, bnb_app
+from .report import render_table
+
+PROTOCOLS = ("BTD", "RWS", "MW")
+
+
+def run(scale: Scale) -> ExperimentReport:
+    def build() -> ExperimentReport:
+        report = ExperimentReport(
+            exp_id="fig3",
+            title=f"BTD vs RWS vs MW on ten instances at n={scale.fig3_n}",
+            expectation=("BTD wins the majority of instances; MW is very "
+                         "competitive at this scale (centralisation not yet "
+                         "saturated); relative order varies per instance"),
+        )
+        rows = []
+        totals = {p: 0.0 for p in PROTOCOLS}
+        btd_wins = 0
+        data = {}
+        for idx in range(1, 11):
+            name = f"Ta{20 + idx}"
+            times = {}
+            red = 0
+            for proto in PROTOCOLS:
+                progress(f"fig3 {name} {proto}")
+                ts = trial_stats(scale, lambda: bnb_app(scale, idx),
+                                 protocol=proto, n=scale.fig3_n, dmax=10,
+                                 quantum=scale.bnb_quantum)
+                times[proto] = ts.t_avg
+                totals[proto] += ts.t_avg
+                if proto == "MW":
+                    red = sum(r.redundancy for r in ts.results) // len(
+                        ts.results)
+            data[name] = times
+            btd_wins += times["BTD"] <= min(times.values())
+            rows.append([name] + [times[p] * 1e3 for p in PROTOCOLS] + [red])
+        rows.append(["TOTAL"] + [totals[p] * 1e3 for p in PROTOCOLS] + [None])
+        report.sections.append(render_table(
+            ["instance", "BTD (ms)", "RWS (ms)", "MW (ms)",
+             "MW redundancy (positions)"],
+            rows, title="-- Fig 3 --", digits=1))
+        report.sections.append(
+            f"BTD wins {btd_wins}/10 instances; aggregate improvement of "
+            f"BTD: {(1 - totals['BTD'] / totals['MW']) * 100:.0f}% vs MW, "
+            f"{(1 - totals['BTD'] / totals['RWS']) * 100:.0f}% vs RWS")
+        report.data = data
+        return report
+
+    return timed(build)
+
+
+__all__ = ["run", "PROTOCOLS"]

@@ -1,0 +1,66 @@
+"""Fig. 4 — scalability of BTD vs MW on Ta21 and Ta23 (200..1000 workers).
+
+Paper finding: MW slows down as it scales — beyond ~600 cores Ta21's
+execution time *increases* with more cores (severe communication bottleneck
+at the master under fine-grain work), while fully-distributed BTD keeps
+scaling smoothly.
+"""
+
+from __future__ import annotations
+
+from .base import ExperimentReport, progress, timed, trial_stats
+from .config import Scale, bnb_app
+from .report import Series, ascii_chart, render_series
+
+
+def run(scale: Scale) -> ExperimentReport:
+    def build() -> ExperimentReport:
+        report = ExperimentReport(
+            exp_id="fig4",
+            title="execution time vs n: BTD vs MW (Ta21, Ta23)",
+            expectation=("MW deteriorates past ~600 workers (master "
+                         "saturation); BTD keeps improving or holds"),
+        )
+        series = []
+        data = {}
+        for idx, label in ((1, "Ta21"), (3, "Ta23")):
+            for proto in ("MW", "BTD"):
+                s = Series(name=f"{proto} {label}")
+                for n in scale.fig45_n:
+                    progress(f"fig4 {label} {proto} n={n}")
+                    ts = trial_stats(scale,
+                                     lambda: bnb_app(scale, idx, big=True),
+                                     trials=scale.scaling_trials,
+                                     protocol=proto, n=n, dmax=10,
+                                     quantum=scale.bnb_quantum)
+                    s.add(n, ts.t_avg * 1e3)
+                    data[(label, proto, n)] = ts
+                series.append(s)
+        report.sections.append(render_series(
+            series, "n", "execution time (ms)", title="-- Fig 4 --",
+            digits=1))
+        report.sections.append("")
+        report.sections.append(ascii_chart(
+            series, x_label="n", y_label="execution time (ms)"))
+        # shape checks: MW curve flattens/reverses, BTD's keeps falling,
+        # and BTD beats MW at the top scale
+        checks = []
+        ns = scale.fig45_n
+        for idx, label in ((1, "Ta21"), (3, "Ta23")):
+            mw_first = data[(label, "MW", ns[0])].t_avg
+            mw_last = data[(label, "MW", ns[-1])].t_avg
+            btd_first = data[(label, "BTD", ns[0])].t_avg
+            btd_last = data[(label, "BTD", ns[-1])].t_avg
+            checks.append(
+                f"{label}: MW speedup {ns[0]}->{ns[-1]}: "
+                f"{mw_first / mw_last:.2f}x | BTD: "
+                f"{btd_first / btd_last:.2f}x | BTD faster than MW at "
+                f"n={ns[-1]}: {'YES' if btd_last < mw_last else 'no'}")
+        report.sections.append("shape checks:\n  " + "\n  ".join(checks))
+        report.data = data
+        return report
+
+    return timed(build)
+
+
+__all__ = ["run"]

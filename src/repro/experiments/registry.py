@@ -1,0 +1,36 @@
+"""Registry of every reproduced table and figure."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..sim.errors import SimConfigError
+from . import fig1, fig2, fig3, fig4, fig5, granularity, table1, table2
+from .base import ExperimentReport
+from .config import Scale
+
+EXPERIMENTS: dict[str, Callable[[Scale], ExperimentReport]] = {
+    "table1": table1.run,
+    "fig1": fig1.run,
+    "fig2": fig2.run,
+    "table2": table2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "granularity": granularity.run,
+}
+
+#: Paper order (plus the reproduction's own regime study), used by --all.
+ORDER = ("table1", "fig1", "fig2", "table2", "fig3", "fig4", "fig5",
+         "granularity")
+
+
+def get_experiment(exp_id: str) -> Callable[[Scale], ExperimentReport]:
+    """Resolve an experiment id to its run() function."""
+    if exp_id not in EXPERIMENTS:
+        raise SimConfigError(
+            f"unknown experiment {exp_id!r}; known: {list(ORDER)}")
+    return EXPERIMENTS[exp_id]
+
+
+__all__ = ["EXPERIMENTS", "ORDER", "get_experiment"]

@@ -1,0 +1,127 @@
+"""Plain-text rendering of tables and series for the experiment reports.
+
+Everything the harness prints goes through these helpers so tables look the
+same in the terminal, in EXPERIMENTS.md and in the benchmark logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+def fmt(value, digits: int = 1) -> str:
+    """Human formatting: floats rounded, ints grouped, None blank."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:,.{digits}f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "", digits: int = 1) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    srows = [[fmt(c, digits) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in srows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """One named (x, y) series of a figure."""
+
+    name: str
+    xs: list = field(default_factory=list)
+    ys: list = field(default_factory=list)
+
+    def add(self, x, y) -> None:
+        self.xs.append(x)
+        self.ys.append(y)
+
+
+def render_series(series: list[Series], x_label: str, y_label: str,
+                  title: str = "", digits: int = 3) -> str:
+    """Column-per-series table (the textual form of a figure)."""
+    xs = sorted({x for s in series for x in s.xs})
+    headers = [x_label] + [s.name for s in series]
+    rows = []
+    for x in xs:
+        row = [x]
+        for s in series:
+            row.append(s.ys[s.xs.index(x)] if x in s.xs else None)
+        rows.append(row)
+    head = f"{title}  [y: {y_label}]" if title else f"[y: {y_label}]"
+    return render_table(headers, rows, title=head, digits=digits)
+
+
+def banner(text: str) -> str:
+    """A boxed section header."""
+    bar = "=" * max(60, len(text) + 4)
+    return f"{bar}\n  {text}\n{bar}"
+
+
+def ascii_chart(series: list[Series], width: int = 60, height: int = 14,
+                x_label: str = "x", y_label: str = "y",
+                title: str = "") -> str:
+    """A rough terminal line chart of one or more (x, y) series.
+
+    Each series gets a marker (``*``, ``o``, ``+``, ...); collisions show
+    the marker of the later series. Made for the monotone-ish sweeps the
+    experiments produce — a reading aid next to the exact tables, not a
+    replacement for them.
+    """
+    points = [(x, y) for s in series for x, y in zip(s.xs, s.ys)]
+    if not points:
+        return "(empty chart)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x@%&#"
+    for si, s in enumerate(series):
+        mark = markers[si % len(markers)]
+        for x, y in zip(s.xs, s.ys):
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(f"{markers[i % len(markers)]} {s.name}"
+                        for i, s in enumerate(series))
+    lines.append(legend)
+    for r, row in enumerate(grid):
+        label = ""
+        if r == 0:
+            label = fmt(y_hi, 1)
+        elif r == height - 1:
+            label = fmt(y_lo, 1)
+        lines.append(f"{label:>10} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(f"{'':>11}{fmt(x_lo, 0):<10}{x_label:^{max(0, width - 20)}}"
+                 f"{fmt(x_hi, 0):>10}")
+    lines.append(f"[y: {y_label}]")
+    return "\n".join(lines)
+
+
+__all__ = ["fmt", "render_table", "Series", "render_series", "banner",
+           "ascii_chart"]

@@ -1,0 +1,247 @@
+"""Assemble and run complete load-balancing simulations.
+
+This is the single entry point used by the integration tests, the examples
+and every table/figure generator: pick a protocol + overlay + application,
+run it on the simulated cluster, get an :class:`ExperimentResult` back.
+
+Protocol names (the paper's):
+
+* ``TD`` — overlay-centric on the deterministic dmax-ary tree
+* ``TR`` — overlay-centric on the random recursive tree
+* ``BTD`` — TD extended with one random bridge per node
+* ``BTR`` — TR extended with bridges (not in the paper; matrix completion)
+* ``RWS`` — random work stealing (steal-half)
+* ``MW`` — master-worker of Mezmaz et al. (B&B only)
+* ``AHMW`` — adaptive hierarchical master-worker (B&B only)
+* ``LIFELINE`` — hypercube lifeline stealing (Saraswat et al.; the
+  related-work overlay design the paper contrasts itself with — extension)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean, pstdev
+from typing import Callable, Optional
+
+from ..apps.base import Application
+from ..baselines.ahmw import AHMW_DEGREE, AHMWNode
+from ..baselines.master_worker import MWMaster, MWWorker
+from ..baselines.rws import RWSWorker
+from ..core.config import OCLBConfig
+from ..core.oclb import OverlayWorker
+from ..core.worker import WorkerConfig, WorkerProcess
+from ..overlay.bridges import add_bridges
+from ..overlay.tree import deterministic_tree, random_tree
+from ..sim.engine import Simulator
+from ..sim.errors import SimConfigError
+from ..sim.network import NetworkModel, grid5000
+from ..sim.rng import RngStream
+from ..sim.stats import RunStats
+
+PROTOCOLS = ("TD", "TR", "BTD", "BTR", "RWS", "MW", "AHMW", "LIFELINE")
+
+
+@dataclass(slots=True)
+class RunConfig:
+    """One simulation run."""
+
+    protocol: str = "BTD"
+    n: int = 64
+    dmax: int = 10
+    sharing: str = "proportional"   # OCLB sharing policy (or RWS's)
+    quantum: int = 64
+    seed: int = 0
+    network: Optional[NetworkModel] = None   # default: grid5000()
+    handler_cost: float = 1e-5
+    jitter: float = 0.0
+    oclb: Optional[OCLBConfig] = None
+    mw_update_every: int = 4
+    max_events: Optional[int] = None
+    #: worker-speed heterogeneity: speeds drawn uniformly from
+    #: [1 - spread, 1 + spread] (0 = homogeneous, the paper's setting)
+    speed_spread: float = 0.0
+    #: "random" scatters the drawn speeds over pids; "fast-interior"
+    #: assigns the fastest workers to the lowest pids — the interior of a
+    #: TD overlay (heterogeneity-aware placement, the paper's future work)
+    speed_placement: str = "random"
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise SimConfigError(
+                f"unknown protocol {self.protocol!r}; known: {PROTOCOLS}")
+        if self.n < 1:
+            raise SimConfigError("n must be >= 1")
+        if self.protocol in ("MW", "AHMW") and self.n < 2:
+            raise SimConfigError(f"{self.protocol} needs at least 2 nodes")
+        if self.speed_placement not in ("random", "fast-interior"):
+            raise SimConfigError(
+                f"unknown speed placement {self.speed_placement!r}")
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """Everything a table/figure needs from one run."""
+
+    protocol: str
+    n: int
+    makespan: float            # virtual seconds until the last node finished
+    work_done_time: float      # virtual time the last work unit completed
+    total_units: int           # application work units processed
+    total_msgs: int
+    total_steals: int          # work requests injected into the network
+    msgs_by_pid: list[int]
+    optimum: Optional[int] = None      # B&B: best makespan found
+    optimum_perm: Optional[tuple] = None
+    redundancy: int = 0                # MW: positions explored twice
+    events: int = 0
+
+    def efficiency(self, t_seq: float, workers: Optional[int] = None) -> float:
+        """Parallel efficiency vs a sequential reference time."""
+        w = workers if workers is not None else self.n
+        if self.makespan <= 0 or w <= 0:
+            return 0.0
+        return t_seq / (w * self.makespan)
+
+
+def _speeds(cfg: RunConfig) -> list[float]:
+    if cfg.speed_spread <= 0:
+        return [1.0] * cfg.n
+    rng = RngStream(cfg.seed, "speeds")
+    lo, hi = 1.0 - cfg.speed_spread, 1.0 + cfg.speed_spread
+    speeds = [max(0.05, rng.uniform(lo, hi)) for _ in range(cfg.n)]
+    if cfg.speed_placement == "fast-interior":
+        speeds.sort(reverse=True)
+    return speeds
+
+
+def build_workers(sim: Simulator, cfg: RunConfig,
+                  app: Application) -> list[WorkerProcess]:
+    """Instantiate the protocol's process population on ``sim``."""
+    speeds = _speeds(cfg)
+
+    def wc_for(p: int) -> WorkerConfig:
+        return WorkerConfig(quantum=cfg.quantum, seed=cfg.seed,
+                            speed=speeds[p])
+
+    wc = wc_for(0)
+    proto, n = cfg.protocol, cfg.n
+    if proto in ("TD", "BTD", "TR", "BTR"):
+        overlay = (deterministic_tree(n, cfg.dmax) if proto.endswith("TD")
+                   else random_tree(n, seed=cfg.seed))
+        if proto.startswith("B"):
+            overlay = add_bridges(overlay, seed=cfg.seed)
+        oclb = cfg.oclb or OCLBConfig(sharing=cfg.sharing)
+        return [sim.add_process(OverlayWorker(p, app, wc_for(p), overlay,
+                                              oclb))
+                for p in range(n)]
+    if proto == "RWS":
+        # "the application is pushed into [...] a random node in case of RWS"
+        initial = RngStream(cfg.seed, "rws-initial").randrange(n)
+        sharing = cfg.sharing if cfg.sharing != "proportional" else "half"
+        return [sim.add_process(RWSWorker(p, n, app, wc_for(p),
+                                          initial_pid=initial,
+                                          sharing=sharing))
+                for p in range(n)]
+    if proto == "MW":
+        procs: list[WorkerProcess] = [
+            sim.add_process(MWMaster(0, n, app, wc))]
+        procs += [sim.add_process(MWWorker(p, n, app, wc_for(p),
+                                           update_every=cfg.mw_update_every))
+                  for p in range(1, n)]
+        return procs
+    if proto == "AHMW":
+        tree = deterministic_tree(n, AHMW_DEGREE)
+        return [sim.add_process(AHMWNode(p, app, wc_for(p), tree))
+                for p in range(n)]
+    if proto == "LIFELINE":
+        from ..baselines.lifeline import LifelineWorker
+        initial = RngStream(cfg.seed, "rws-initial").randrange(n)
+        sharing = cfg.sharing if cfg.sharing != "proportional" else "half"
+        return [sim.add_process(LifelineWorker(p, n, app, wc_for(p),
+                                               initial_pid=initial,
+                                               sharing=sharing))
+                for p in range(n)]
+    raise SimConfigError(f"unhandled protocol {proto}")
+
+
+def run_once(cfg: RunConfig, app: Application,
+             tracer=None) -> ExperimentResult:
+    """Run one complete simulation to termination.
+
+    ``tracer``: optional :class:`repro.sim.trace.Tracer` attached to every
+    worker (per-worker timelines, utilization profiles).
+    """
+    network = cfg.network if cfg.network is not None else grid5000(
+        handler_cost=cfg.handler_cost, jitter=cfg.jitter)
+    sim = Simulator(network=network, seed=cfg.seed)
+    workers = build_workers(sim, cfg, app)
+    if tracer is not None:
+        for w in workers:
+            w.tracer = tracer
+    stats: RunStats = sim.run(max_events=cfg.max_events)
+    optimum = None
+    optimum_perm = None
+    redundancy = 0
+    for w in workers:
+        if w.shared is not None:
+            value = app.shared_value(w.shared)
+            if value is not None and (optimum is None or value < optimum):
+                optimum = value
+        redundancy += getattr(w, "redundancy", 0)
+    if optimum is not None:
+        # the incumbent comes from a worker that actually *found* the value
+        for w in workers:
+            if (w.shared is not None
+                    and getattr(w.shared, "perm_value", None) == optimum):
+                optimum_perm = w.shared.perm
+                break
+    return ExperimentResult(
+        protocol=cfg.protocol,
+        n=cfg.n,
+        makespan=stats.makespan,
+        work_done_time=stats.work_done_time,
+        total_units=stats.total_work_units,
+        total_msgs=stats.total_msgs,
+        total_steals=stats.total_steals,
+        msgs_by_pid=stats.msgs_by_pid(),
+        optimum=optimum,
+        optimum_perm=optimum_perm,
+        redundancy=redundancy,
+        events=stats.events_fired,
+    )
+
+
+@dataclass(slots=True)
+class TrialStats:
+    """Aggregate over repeated trials (Table I reports these four)."""
+
+    t_avg: float
+    t_std: float
+    t_max: float
+    t_min: float
+    results: list[ExperimentResult] = field(default_factory=list)
+
+    @classmethod
+    def of(cls, results: list[ExperimentResult]) -> "TrialStats":
+        """Aggregate trial results into t_avg / sigma / t_max / t_min."""
+        times = [r.makespan for r in results]
+        return cls(t_avg=mean(times),
+                   t_std=pstdev(times) if len(times) > 1 else 0.0,
+                   t_max=max(times), t_min=min(times), results=results)
+
+
+def run_trials(cfg: RunConfig, app_factory: Callable[[], Application],
+               trials: int) -> TrialStats:
+    """Repeat a run ``trials`` times with derived seeds (paper: 10 trials)."""
+    if trials < 1:
+        raise SimConfigError("trials must be >= 1")
+    import dataclasses
+    results = []
+    for t in range(trials):
+        trial_cfg = dataclasses.replace(cfg, seed=cfg.seed + 1000 * t)
+        results.append(run_once(trial_cfg, app_factory()))
+    return TrialStats.of(results)
+
+
+__all__ = ["RunConfig", "ExperimentResult", "TrialStats", "PROTOCOLS",
+           "build_workers", "run_once", "run_trials"]

@@ -1,0 +1,55 @@
+"""Sequential reference times for parallel-efficiency computation.
+
+PE(n) = T_seq / (n * T_n). For UTS the sequential time is exact (tree size
+x unit cost); for B&B it is measured by one warm-started sequential solve
+per (instance, bound) and memoised for the whole process lifetime.
+"""
+
+from __future__ import annotations
+
+from ..apps.base import Application
+from ..apps.bnb_app import BnBApplication
+from ..apps.uts_app import UTSApplication
+from ..sim.errors import SimConfigError
+from ..uts.sequential import count_tree
+
+_BNB_CACHE: dict[tuple, tuple[int, int]] = {}
+_UTS_CACHE: dict[tuple, int] = {}
+
+
+def sequential_units(app: Application) -> int:
+    """Work units a single worker processes to finish the whole job."""
+    if isinstance(app, UTSApplication):
+        import dataclasses
+        key = dataclasses.astuple(app.params)
+        if key not in _UTS_CACHE:
+            _UTS_CACHE[key] = count_tree(app.params).nodes
+        return _UTS_CACHE[key]
+    if isinstance(app, BnBApplication):
+        key = (app.instance.name, app.instance.p, app.engine.bound.name,
+               app.warm_start)
+        if key not in _BNB_CACHE:
+            shared = app.make_shared()
+            work = app.initial_work()
+            nodes = 0
+            while not work.is_empty():
+                nodes += app.engine.explore(work, shared, 1_000_000).nodes
+            _BNB_CACHE[key] = (nodes, shared.value)
+        return _BNB_CACHE[key][0]
+    raise SimConfigError(f"no sequential reference for {type(app).__name__}")
+
+
+def sequential_time(app: Application) -> float:
+    """T_seq in virtual seconds."""
+    return sequential_units(app) * app.unit_cost
+
+
+def sequential_optimum(app: BnBApplication) -> int:
+    """Exact optimum of a B&B application (via the memoised solve)."""
+    sequential_units(app)
+    key = (app.instance.name, app.instance.p, app.engine.bound.name,
+           app.warm_start)
+    return _BNB_CACHE[key][1]
+
+
+__all__ = ["sequential_units", "sequential_time", "sequential_optimum"]

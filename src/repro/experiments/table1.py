@@ -1,0 +1,70 @@
+"""Table I — overlay shape study: TD(dmax = 2, 5, 10) vs TR at n = 100, 200.
+
+For one B&B instance (Ta21) and one UTS instance, report
+t_avg / sigma / t_max / t_min over repeated trials. Paper findings: time
+decreases as dmax grows; larger dmax is more stable (smaller sigma); the
+deterministic tree beats the randomized one.
+"""
+
+from __future__ import annotations
+
+from .base import ExperimentReport, progress, timed, trial_stats
+from .config import Scale, bnb_app, uts_app
+from .report import render_table
+
+OVERLAYS = (("TD", 2), ("TD", 5), ("TD", 10), ("TR", 0))
+
+
+def run(scale: Scale) -> ExperimentReport:
+    def build() -> ExperimentReport:
+        report = ExperimentReport(
+            exp_id="table1",
+            title="execution time vs overlay shape (TD dmax=2/5/10, TR)",
+            expectation=("time decreases with dmax and stabilises "
+                         "(sigma shrinks); TD beats TR"),
+        )
+        apps = {
+            "B&B": lambda: bnb_app(scale, 1),
+            "UTS": lambda: uts_app(scale, "main"),
+        }
+        quanta = {"B&B": scale.bnb_quantum, "UTS": scale.uts_quantum}
+        data = {}
+        for app_name, factory in apps.items():
+            rows = []
+            for n in scale.table1_n:
+                for proto, dmax in OVERLAYS:
+                    label = f"TD dmax={dmax}" if proto == "TD" else "TR"
+                    progress(f"table1 {app_name} n={n} {label}")
+                    ts = trial_stats(scale, factory, protocol=proto, n=n,
+                                     dmax=max(2, dmax),
+                                     quantum=quanta[app_name])
+                    rows.append([n, label,
+                                 ts.t_avg * 1e3, ts.t_std * 1e3,
+                                 ts.t_max * 1e3, ts.t_min * 1e3])
+                    data[(app_name, n, label)] = ts
+            report.sections.append(render_table(
+                ["n", "overlay", "t_avg (ms)", "sigma (ms)", "t_max (ms)",
+                 "t_min (ms)"],
+                rows, title=f"-- {app_name} ({scale.trials} trials) --",
+                digits=2))
+            report.sections.append("")
+        report.data = data
+        # shape checks recorded alongside the numbers
+        checks = []
+        for app_name in apps:
+            for n in scale.table1_n:
+                t2 = data[(app_name, n, "TD dmax=2")].t_avg
+                t10 = data[(app_name, n, "TD dmax=10")].t_avg
+                tr = data[(app_name, n, "TR")].t_avg
+                checks.append(
+                    f"{app_name} n={n}: TD10 faster than TD2: "
+                    f"{'YES' if t10 < t2 else 'no'} "
+                    f"({t2 / t10:.2f}x); TD10 vs TR: "
+                    f"{'YES' if t10 < tr else 'no'} ({tr / t10:.2f}x)")
+        report.sections.append("shape checks:\n  " + "\n  ".join(checks))
+        return report
+
+    return timed(build)
+
+
+__all__ = ["run", "OVERLAYS"]

@@ -1,0 +1,64 @@
+"""Table II — TD and BTD vs the Adaptive Hierarchical Master-Worker.
+
+Execution times of the ten instances at n = 200. Paper findings: TD beats
+AHMW on 7/10 instances, BTD on 9/10; aggregated over all instances BTD is
+~10x (TD ~5x) faster than AHMW; BTD consistently improves on TD (the
+bridges do their job).
+"""
+
+from __future__ import annotations
+
+from .base import ExperimentReport, progress, timed, trial_stats
+from .config import Scale, bnb_app
+from .report import render_table
+
+PROTOCOLS = ("TD", "BTD", "AHMW")
+
+
+def run(scale: Scale) -> ExperimentReport:
+    def build() -> ExperimentReport:
+        report = ExperimentReport(
+            exp_id="table2",
+            title=f"TD / BTD vs AHMW on ten instances at n={scale.table2_n}",
+            expectation=("TD wins most instances, BTD nearly all; "
+                         "aggregate: BTD ~10x and TD ~5x faster than AHMW; "
+                         "BTD < TD"),
+        )
+        rows = []
+        totals = {p: 0.0 for p in PROTOCOLS}
+        wins = {p: 0 for p in ("TD", "BTD")}
+        data = {}
+        for idx in range(1, 11):
+            name = f"Ta{20 + idx}"
+            times = {}
+            for proto in PROTOCOLS:
+                progress(f"table2 {name} {proto}")
+                ts = trial_stats(scale, lambda: bnb_app(scale, idx),
+                                 protocol=proto, n=scale.table2_n, dmax=10,
+                                 quantum=scale.bnb_quantum)
+                times[proto] = ts.t_avg
+                totals[proto] += ts.t_avg
+            data[name] = times
+            for p in ("TD", "BTD"):
+                wins[p] += times[p] < times["AHMW"]
+            rows.append([name] + [times[p] * 1e3 for p in PROTOCOLS]
+                        + [times["AHMW"] / times["BTD"]])
+        rows.append(["TOTAL"] + [totals[p] * 1e3 for p in PROTOCOLS]
+                    + [totals["AHMW"] / totals["BTD"]])
+        report.sections.append(render_table(
+            ["instance", "TD (ms)", "BTD (ms)", "AHMW (ms)", "AHMW/BTD"],
+            rows, title=f"-- Table II ({scale.trials} trials each) --",
+            digits=1))
+        report.sections.append(
+            f"TD beats AHMW on {wins['TD']}/10 instances, "
+            f"BTD on {wins['BTD']}/10; aggregate speedup vs AHMW: "
+            f"BTD {totals['AHMW'] / totals['BTD']:.1f}x, "
+            f"TD {totals['AHMW'] / totals['TD']:.1f}x; "
+            f"BTD vs TD aggregate: {totals['TD'] / totals['BTD']:.2f}x")
+        report.data = data
+        return report
+
+    return timed(build)
+
+
+__all__ = ["run", "PROTOCOLS"]

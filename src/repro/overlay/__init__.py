@@ -1,0 +1,19 @@
+"""Peer-to-peer overlay structures (paper §II).
+
+TD (deterministic dmax-ary), TR (random recursive) and BTD (TD + one random
+bridge per node), plus the distributed converge-cast that computes subtree
+sizes and structural metrics used by the experiment reports.
+"""
+
+from .bridges import BridgedTreeOverlay, add_bridges
+from .convergecast import ConvergecastProcess, SizeService
+from .metrics import OverlaySummary, degree_histogram, diameter, summarize
+from .tree import (TreeOverlay, chain_tree, deterministic_tree, from_parents,
+                   random_tree, star_tree)
+
+__all__ = [
+    "TreeOverlay", "deterministic_tree", "random_tree", "star_tree",
+    "chain_tree", "from_parents", "BridgedTreeOverlay", "add_bridges",
+    "SizeService", "ConvergecastProcess", "diameter", "degree_histogram",
+    "summarize", "OverlaySummary",
+]

@@ -1,0 +1,76 @@
+"""Structural metrics of overlays: diameter, degrees, balance.
+
+Used by the experiments to report overlay shape next to performance (the
+paper's §IV-A discussion relates execution time to degree and diameter), and
+by the property tests as independent oracles for the tree code.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+
+from .tree import TreeOverlay
+
+
+def eccentricity_from(tree: TreeOverlay, start: int) -> tuple[int, int]:
+    """BFS over the overlay graph; returns (farthest node, its distance)."""
+    dist = {start: 0}
+    q = deque([start])
+    far, fd = start, 0
+    while q:
+        v = q.popleft()
+        for u in tree.neighbors(v):
+            if u not in dist:
+                dist[u] = dist[v] + 1
+                if dist[u] > fd:
+                    far, fd = u, dist[u]
+                q.append(u)
+    return far, fd
+
+
+def diameter(tree: TreeOverlay) -> int:
+    """Exact tree diameter via the classic double-BFS."""
+    a, _ = eccentricity_from(tree, 0)
+    _, d = eccentricity_from(tree, a)
+    return d
+
+
+def degree_histogram(tree: TreeOverlay) -> dict[int, int]:
+    """Map overlay degree -> number of nodes with that degree."""
+    return dict(Counter(tree.degree(v) for v in range(tree.n)))
+
+
+@dataclass(frozen=True)
+class OverlaySummary:
+    """One-line description of an overlay's shape."""
+
+    kind: str
+    n: int
+    height: int
+    diameter: int
+    max_degree: int
+    mean_depth: float
+    leaves: int
+
+    def __str__(self) -> str:
+        return (f"{self.kind}(n={self.n}) height={self.height} "
+                f"diam={self.diameter} maxdeg={self.max_degree} "
+                f"leaves={self.leaves} mean_depth={self.mean_depth:.2f}")
+
+
+def summarize(tree: TreeOverlay) -> OverlaySummary:
+    """Compute the one-line structural summary of an overlay."""
+    return OverlaySummary(
+        kind=tree.kind,
+        n=tree.n,
+        height=tree.height,
+        diameter=diameter(tree),
+        max_degree=max(tree.degree(v) for v in range(tree.n)),
+        mean_depth=sum(tree.depth) / tree.n,
+        leaves=len(tree.leaves()),
+    )
+
+
+__all__ = ["diameter", "degree_histogram", "eccentricity_from",
+           "OverlaySummary", "summarize"]

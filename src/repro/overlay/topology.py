@@ -1,0 +1,65 @@
+"""Extra (non-tree) overlay shapes for ablations and related-work contrasts.
+
+The paper's related work discusses the hypercube *lifeline graph* of
+Saraswat et al. (PPoPP'11); :func:`hypercube_edges` provides that structure
+so the ablation benches can contrast a tree overlay with a lifeline-style
+one. :func:`overlay_edges` gives a protocol-agnostic edge view of any of the
+overlay types in this package.
+"""
+
+from __future__ import annotations
+
+from ..sim.errors import SimConfigError
+from .bridges import BridgedTreeOverlay
+from .tree import TreeOverlay
+
+
+def tree_edges(tree: TreeOverlay) -> list[tuple[int, int]]:
+    """All parent-child edges as (parent, child)."""
+    return [(tree.parent[v], v) for v in range(1, tree.n)]
+
+
+def bridge_edges(overlay: BridgedTreeOverlay) -> list[tuple[int, int]]:
+    """All directed bridges as (owner, target)."""
+    return [(v, u) for v, u in enumerate(overlay.bridge) if u >= 0]
+
+
+def overlay_edges(overlay: TreeOverlay | BridgedTreeOverlay) -> list[tuple[int, int]]:
+    """Undirected-ish edge list of any overlay object in this package."""
+    if isinstance(overlay, BridgedTreeOverlay):
+        return tree_edges(overlay.tree) + bridge_edges(overlay)
+    return tree_edges(overlay)
+
+
+def hypercube_edges(n: int) -> list[tuple[int, int]]:
+    """Edges of the largest hypercube on <= n nodes, plus a chained remainder.
+
+    Nodes beyond the largest power of two attach to their ``v - 2**k``
+    counterpart, mimicking how lifeline implementations handle non-power-of-
+    two world sizes.
+    """
+    if n <= 0:
+        raise SimConfigError("n must be >= 1")
+    k = 0
+    while (1 << (k + 1)) <= n:
+        k += 1
+    size = 1 << k
+    edges = [(v, v ^ (1 << b)) for v in range(size) for b in range(k)
+             if v < (v ^ (1 << b))]
+    edges += [(v - size, v) for v in range(size, n)]
+    return edges
+
+
+def neighbors_from_edges(n: int, edges: list[tuple[int, int]]) -> list[list[int]]:
+    """Adjacency lists from an undirected edge list."""
+    adj: list[list[int]] = [[] for _ in range(n)]
+    for a, b in edges:
+        if not (0 <= a < n and 0 <= b < n):
+            raise SimConfigError(f"edge ({a},{b}) out of range for n={n}")
+        adj[a].append(b)
+        adj[b].append(a)
+    return adj
+
+
+__all__ = ["tree_edges", "bridge_edges", "overlay_edges", "hypercube_edges",
+           "neighbors_from_edges"]

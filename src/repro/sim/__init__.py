@@ -1,0 +1,24 @@
+"""Deterministic discrete-event simulator of message-passing processes.
+
+This package is the hardware substitute for the paper's Grid'5000 testbed:
+virtual CPUs with non-preemptive occupancy, a priced network (latency,
+bandwidth, per-message handler cost, optional jitter) and exact, reproducible
+virtual time. See DESIGN.md §2 and §6 for the model and its justification.
+"""
+
+from .engine import Simulator
+from .errors import SimConfigError, SimDeadlockError, SimError, SimRuntimeError
+from .events import Event, EventQueue
+from .messages import HEADER_BYTES, Message, sized
+from .network import ClusterSpec, NetworkModel, grid5000, uniform_network
+from .process import SimProcess
+from .rng import RngStream, derive_seed, mix64, spawn_numpy, splitmix64
+from .stats import ProcessStats, RunStats
+
+__all__ = [
+    "Simulator", "SimProcess", "Event", "EventQueue", "Message", "sized",
+    "HEADER_BYTES", "ClusterSpec", "NetworkModel", "grid5000",
+    "uniform_network", "RngStream", "derive_seed", "mix64", "splitmix64",
+    "spawn_numpy", "ProcessStats", "RunStats", "SimError", "SimConfigError",
+    "SimRuntimeError", "SimDeadlockError",
+]

@@ -1,0 +1,152 @@
+"""The simulation engine: event loop, message transport, run statistics."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .errors import SimConfigError, SimDeadlockError, SimRuntimeError
+from .events import EventQueue
+from .messages import Message
+from .network import NetworkModel, uniform_network
+from .process import SimProcess
+from .stats import RunStats
+
+
+class Simulator:
+    """Deterministic discrete-event simulator of message-passing processes.
+
+    Typical usage::
+
+        sim = Simulator(network=grid5000(), seed=42)
+        for pid in range(n):
+            sim.add_process(MyProcess(pid))
+        sim.run()
+        print(sim.stats.makespan)
+
+    The run ends when the event queue drains. If at that point some process
+    reports ``finished() == False``, :class:`SimDeadlockError` is raised with
+    a snapshot of the stuck processes — the simulator-level equivalent of a
+    distributed deadlock, which in this repository always means a protocol
+    bug (and is exactly what the termination-detection tests hunt for).
+    """
+
+    def __init__(self, network: Optional[NetworkModel] = None, seed: int = 0,
+                 auto_place: bool = True) -> None:
+        self.network = network if network is not None else uniform_network()
+        self.seed = seed
+        self.queue = EventQueue()
+        self.processes: list[SimProcess] = []
+        self.stats = RunStats.create(0)
+        self._auto_place = auto_place
+        self._running = False
+        self._stopped = False
+        self._started = False
+        # FIFO per channel: like the TCP streams of the paper's testbed,
+        # messages between one (src, dst) pair never overtake each other —
+        # a property the pure-tree termination argument relies on.
+        self._fifo: dict[tuple[int, int], float] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_process(self, proc: SimProcess) -> SimProcess:
+        """Register a process; pids must be dense, in order: 0, 1, 2, ..."""
+        if self._started:
+            raise SimConfigError("cannot add processes after run() started")
+        if proc.pid != len(self.processes):
+            raise SimConfigError(
+                f"expected pid {len(self.processes)}, got {proc.pid}; "
+                "add processes in pid order")
+        proc.sim = self
+        self.processes.append(proc)
+        return proc
+
+    @property
+    def n(self) -> int:
+        """Number of registered processes."""
+        return len(self.processes)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.queue.now
+
+    # -- transport -------------------------------------------------------------
+
+    def transmit(self, msg: Message) -> None:
+        """Price and enqueue a message delivery."""
+        if not (0 <= msg.dst < len(self.processes)):
+            raise SimRuntimeError(f"message to unknown process {msg.dst}")
+        src_stats = self.stats.per_process[msg.src]
+        src_stats.msgs_sent += 1
+        src_stats.bytes_sent += msg.size_bytes
+        msg.send_time = self.now
+        delay = self.network.delivery_delay(msg.src, msg.dst, msg.size_bytes)
+        chan = (msg.src, msg.dst)
+        arrive_at = max(self.now + delay, self._fifo.get(chan, 0.0))
+        self._fifo[chan] = arrive_at
+        dst_proc = self.processes[msg.dst]
+        self.queue.push(arrive_at, lambda: dst_proc._arrive(msg),
+                        tag=f"deliver:{msg.kind}->{msg.dst}")
+
+    # -- run --------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Abort the run after the current event (used by tests/limits)."""
+        self._stopped = True
+
+    def note_work_done(self) -> None:
+        """Record that application work completed at the current time."""
+        if self.now > self.stats.work_done_time:
+            self.stats.work_done_time = self.now
+
+    def run(self, max_time: Optional[float] = None,
+            max_events: Optional[int] = None) -> RunStats:
+        """Execute until the queue drains (or a limit trips); returns stats."""
+        if self._started:
+            raise SimConfigError("a Simulator instance runs only once")
+        self._started = True
+        if not self.processes:
+            raise SimConfigError("no processes registered")
+        self.stats = RunStats.create(len(self.processes))
+        if self._auto_place:
+            self.network.place(len(self.processes), seed=self.seed)
+        self._running = True
+        for proc in self.processes:
+            proc.start()
+        fired = 0
+        while True:
+            if self._stopped:
+                break
+            if max_events is not None and fired >= max_events:
+                break
+            if max_time is not None:
+                nxt = self.queue.peek_time()
+                if nxt is None or nxt > max_time:
+                    break
+            ev = self.queue.pop()
+            if ev is None:
+                break
+            fired += 1
+            ev.action()
+        self._running = False
+        self.stats.events_fired = fired
+        self._finalize(truncated=self._stopped
+                       or (max_events is not None and fired >= max_events)
+                       or (max_time is not None))
+        return self.stats
+
+    def _finalize(self, truncated: bool) -> None:
+        unfinished = [p.pid for p in self.processes if not p.finished()]
+        if unfinished and not truncated:
+            pending = self.queue.snapshot_tags()[:10]
+            raise SimDeadlockError(
+                f"event queue drained at t={self.now:.6f} with "
+                f"{len(unfinished)} unfinished processes "
+                f"(first: {unfinished[:10]}); pending events: {pending}")
+        self.stats.makespan = max(
+            (p.finish_time for p in self.stats.per_process), default=self.now)
+        if self.stats.makespan == 0.0:
+            self.stats.makespan = self.now
+
+
+__all__ = ["Simulator"]

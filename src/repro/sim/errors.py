@@ -1,0 +1,26 @@
+"""Exception hierarchy for the simulation substrate."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulator errors."""
+
+
+class SimConfigError(SimError):
+    """A simulation was configured inconsistently (bad ids, sizes, rates)."""
+
+
+class SimRuntimeError(SimError):
+    """The event loop reached an impossible state (scheduling into the past,
+    delivery to an unknown process, ...)."""
+
+
+class SimDeadlockError(SimError):
+    """The event queue drained while processes still expected progress.
+
+    Raised by :meth:`repro.sim.engine.Simulator.run` when ``on_quiescence``
+    callbacks decline to inject new events but at least one process reports
+    that it has not finished. This is the simulator-level analogue of a
+    distributed deadlock and almost always indicates a protocol bug.
+    """

@@ -1,0 +1,111 @@
+"""Event core of the discrete-event simulator.
+
+An :class:`Event` is an opaque callback bound to a virtual time; the
+:class:`EventQueue` is a binary heap ordered by ``(time, seq)`` where ``seq``
+is a global insertion counter. The counter makes simultaneous events fire in
+insertion order, which is what makes whole-protocol runs bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .errors import SimRuntimeError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: virtual time (seconds) at which the event fires.
+        seq: insertion sequence number; total order tie-break.
+        action: zero-argument callable executed when the event fires.
+        cancelled: cooperative-cancellation flag; cancelled events are
+            skipped by the queue (lazy deletion).
+        tag: free-form debugging label.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    tag: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with lazy cancellation.
+
+    The queue never rewinds: pushing an event earlier than the last popped
+    time raises :class:`SimRuntimeError` (a protocol scheduling bug).
+    """
+
+    __slots__ = ("_heap", "_seq", "_now", "pushed", "fired", "skipped")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self.pushed = 0
+        self.fired = 0
+        self.skipped = 0
+
+    @property
+    def now(self) -> float:
+        """Virtual time of the last popped event (0.0 initially)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, action: Callable[[], None], tag: str = "") -> Event:
+        """Schedule ``action`` at virtual ``time``; returns a cancellable handle."""
+        if time < self._now:
+            raise SimRuntimeError(
+                f"cannot schedule event at t={time:.9f} before current t={self._now:.9f}"
+                + (f" (tag={tag!r})" if tag else "")
+            )
+        ev = Event(time, self._seq, action, tag=tag)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        self.pushed += 1
+        return ev
+
+    def pop(self) -> Optional[Event]:
+        """Pop the next live event, advancing ``now``; None when drained."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                self.skipped += 1
+                continue
+            self._now = ev.time
+            self.fired += 1
+            return ev
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+            self.skipped += 1
+        return self._heap[0].time if self._heap else None
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+
+    def snapshot_tags(self) -> list[tuple[float, str]]:
+        """Sorted (time, tag) of live events; debugging aid for deadlocks."""
+        return sorted((e.time, e.tag) for e in self._heap if not e.cancelled)
+
+
+__all__ = ["Event", "EventQueue"]

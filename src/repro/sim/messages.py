@@ -1,0 +1,48 @@
+"""Message envelope shared by every protocol in the repository.
+
+Protocols define their own payload types; the simulator only needs the
+``(src, dst, kind, size_bytes)`` envelope to route and price a message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Fixed protocol-header size charged to every message (bytes).
+HEADER_BYTES = 64
+
+
+@dataclass(slots=True)
+class Message:
+    """A point-to-point message.
+
+    Attributes:
+        src: sender process id.
+        dst: destination process id.
+        kind: protocol-defined string discriminator (e.g. ``"REQUEST"``).
+        payload: protocol-defined content; must be treated as immutable by
+            the receiver (the simulator passes references, it does not copy).
+        size_bytes: wire size used by the network model (header included).
+        send_time: virtual time the message was handed to the network.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: Any = None
+    size_bytes: int = HEADER_BYTES
+    send_time: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < HEADER_BYTES:
+            self.size_bytes = HEADER_BYTES
+
+
+def sized(kind: str, src: int, dst: int, payload: Any, body_bytes: int) -> Message:
+    """Build a message whose wire size is ``HEADER_BYTES + body_bytes``."""
+    return Message(src=src, dst=dst, kind=kind, payload=payload,
+                   size_bytes=HEADER_BYTES + max(0, int(body_bytes)))
+
+
+__all__ = ["Message", "sized", "HEADER_BYTES"]

@@ -1,0 +1,157 @@
+"""Simulated process base class.
+
+A :class:`SimProcess` owns one virtual CPU. The CPU is either *free* or
+*busy* (computing a quantum or absorbing a message); incoming messages queue
+in the inbox while it is busy and are absorbed FIFO, each occupying the CPU
+for the network model's ``handler_cost``. This non-preemptive occupancy
+model is what lets the simulator reproduce saturation effects (a
+master–worker coordinator melting under 1000 fine-grain requesters) without
+modelling real threads.
+
+Subclass contract:
+
+* override :meth:`start` to bootstrap (schedule work, send first messages);
+* override :meth:`on_message` for protocol logic (called when the CPU has
+  *finished* absorbing the message);
+* override :meth:`on_cpu_free` to resume background activity (the worker
+  framework starts its next compute quantum here);
+* override :meth:`finished` so the engine can distinguish quiescence
+  (everyone done) from distributed deadlock.
+
+Use :meth:`occupy` to model computation, :meth:`send` to transmit, and
+:meth:`call_at` / :meth:`call_after` for zero-cost timers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from .errors import SimRuntimeError
+from .events import Event
+from .messages import Message, sized
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Simulator
+
+
+class SimProcess:
+    """One simulated node; see module docstring for the execution model."""
+
+    def __init__(self, pid: int) -> None:
+        if pid < 0:
+            raise SimRuntimeError(f"pid must be >= 0, got {pid}")
+        self.pid = pid
+        self.sim: "Simulator" = None  # type: ignore[assignment]  # set on add
+        self._inbox: deque[Message] = deque()
+        self._cpu_busy = False
+        self._occupy_event: Optional[Event] = None
+
+    # -- lifecycle hooks -----------------------------------------------------
+
+    def start(self) -> None:
+        """Called once at t=0 after every process is registered."""
+
+    def on_message(self, msg: Message) -> None:
+        """Protocol logic; runs when the CPU finished absorbing ``msg``."""
+
+    def on_cpu_free(self) -> None:
+        """Called whenever the CPU goes idle with an empty inbox."""
+
+    def finished(self) -> bool:
+        """True when this process considers the computation terminated."""
+        return True
+
+    # -- conveniences ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.sim.now
+
+    @property
+    def stats(self):
+        """This process's counters in the run statistics."""
+        return self.sim.stats.per_process[self.pid]
+
+    @property
+    def cpu_busy(self) -> bool:
+        """True while computing or absorbing a message."""
+        return self._cpu_busy
+
+    @property
+    def inbox_size(self) -> int:
+        """Messages waiting for the CPU."""
+        return len(self._inbox)
+
+    def send(self, dst: int, kind: str, payload: Any = None,
+             body_bytes: int = 0) -> None:
+        """Transmit a message; delivery time priced by the network model."""
+        self.sim.transmit(sized(kind, self.pid, dst, payload, body_bytes))
+
+    def call_at(self, time: float, fn: Callable[[], None], tag: str = "") -> Event:
+        """Schedule a zero-cost callback at absolute virtual ``time``."""
+        return self.sim.queue.push(time, fn, tag=tag or f"timer@{self.pid}")
+
+    def call_after(self, delay: float, fn: Callable[[], None], tag: str = "") -> Event:
+        """Schedule a zero-cost callback ``delay`` seconds from now."""
+        return self.call_at(self.now + delay, fn, tag=tag)
+
+    def occupy(self, duration: float, done: Callable[[], None],
+               tag: str = "") -> None:
+        """Occupy the CPU for ``duration`` then run ``done``.
+
+        ``done`` executes with the CPU still marked busy so it can chain
+        another :meth:`occupy`; if it does not, queued messages are absorbed
+        and finally :meth:`on_cpu_free` fires.
+        """
+        if self._cpu_busy:
+            raise SimRuntimeError(f"process {self.pid}: CPU already busy")
+        if duration < 0:
+            raise SimRuntimeError(f"process {self.pid}: negative occupy {duration}")
+        self._cpu_busy = True
+
+        def _complete() -> None:
+            self._occupy_event = None
+            self._cpu_busy = False
+            done()
+            self._drain()
+
+        self._occupy_event = self.call_after(duration, _complete,
+                                             tag=tag or f"occupy@{self.pid}")
+
+    # -- engine-facing internals ----------------------------------------------
+
+    def _arrive(self, msg: Message) -> None:
+        """Engine hook: a message reached this node's NIC."""
+        st = self.stats
+        st.msgs_received += 1
+        st.bytes_received += msg.size_bytes
+        self._inbox.append(msg)
+        if not self._cpu_busy:
+            self._drain()
+
+    def _drain(self) -> None:
+        """Absorb the next queued message, if any, else report CPU free."""
+        if self._cpu_busy:
+            return
+        if not self._inbox:
+            self.on_cpu_free()
+            return
+        msg = self._inbox.popleft()
+        cost = self.sim.network.handler_cost
+        self._cpu_busy = True
+
+        def _handled() -> None:
+            self._cpu_busy = False
+            self.stats.handler_time += cost
+            self.on_message(msg)
+            self._drain()
+
+        self.call_after(cost, _handled, tag=f"handle:{msg.kind}@{self.pid}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} pid={self.pid}>"
+
+
+__all__ = ["SimProcess"]

@@ -1,0 +1,95 @@
+"""Per-process and run-level statistics.
+
+Counters are cheap plain attributes updated inline by the engine and the
+worker framework; aggregation helpers turn them into the quantities the
+paper plots (per-node message counts, busy/idle ratios, work units, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class ProcessStats:
+    """Counters for one simulated process."""
+
+    pid: int
+    msgs_sent: int = 0
+    msgs_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    work_units: int = 0           # application work units processed
+    busy_time: float = 0.0        # time spent computing work units
+    handler_time: float = 0.0     # time spent absorbing messages
+    steals_attempted: int = 0     # work requests issued
+    steals_successful: int = 0    # requests answered with work
+    work_msgs_sent: int = 0       # messages that carried work
+    work_msgs_received: int = 0
+    finish_time: float = 0.0      # when this process learnt termination
+
+    def idle_time(self, horizon: float) -> float:
+        """Time neither computing nor handling messages, within ``horizon``."""
+        return max(0.0, horizon - self.busy_time - self.handler_time)
+
+
+@dataclass(slots=True)
+class RunStats:
+    """Aggregated statistics of a complete simulation run."""
+
+    n: int
+    per_process: list[ProcessStats] = field(default_factory=list)
+    makespan: float = 0.0          # time the last process learnt termination
+    work_done_time: float = 0.0    # time the last work unit finished
+    events_fired: int = 0
+
+    @classmethod
+    def create(cls, n: int) -> "RunStats":
+        """Fresh statistics for an n-process run."""
+        return cls(n=n, per_process=[ProcessStats(pid=i) for i in range(n)])
+
+    # -- aggregates used by the experiment harness --------------------------
+
+    @property
+    def total_work_units(self) -> int:
+        """Application work units processed across all processes."""
+        return sum(p.work_units for p in self.per_process)
+
+    @property
+    def total_msgs(self) -> int:
+        """Messages sent across all processes."""
+        return sum(p.msgs_sent for p in self.per_process)
+
+    @property
+    def total_steals(self) -> int:
+        """Work requests issued across all processes."""
+        return sum(p.steals_attempted for p in self.per_process)
+
+    @property
+    def total_steals_ok(self) -> int:
+        """Work requests that were answered with work."""
+        return sum(p.steals_successful for p in self.per_process)
+
+    @property
+    def total_busy(self) -> float:
+        """Total compute time across all processes (virtual seconds)."""
+        return sum(p.busy_time for p in self.per_process)
+
+    def msgs_by_pid(self) -> list[int]:
+        """Messages sent per process, ordered by pid (Fig 1 bottom)."""
+        return [p.msgs_sent for p in self.per_process]
+
+    def efficiency_vs(self, t_seq: float) -> float:
+        """Parallel efficiency against a sequential reference time."""
+        if self.makespan <= 0 or self.n <= 0:
+            return 0.0
+        return t_seq / (self.n * self.makespan)
+
+    def busy_fraction(self) -> float:
+        """Mean fraction of the makespan each process spent computing."""
+        if self.makespan <= 0 or self.n <= 0:
+            return 0.0
+        return self.total_busy / (self.n * self.makespan)
+
+
+__all__ = ["ProcessStats", "RunStats"]

@@ -1,0 +1,130 @@
+"""Activity tracing: per-process timelines and utilization profiles.
+
+A :class:`Tracer` records (time, pid, kind, value) samples; attach one to a
+run with :func:`attach` (or pass ``tracer=`` to
+:func:`repro.experiments.runner.run_once`) and get:
+
+* per-process busy/idle interval timelines,
+* a bucketed system-utilization profile (the "how busy was the fleet over
+  the run" curve used throughout the paper's §IV discussion),
+* per-phase message rates.
+
+Tracing is off by default — the hooks cost nothing unless a tracer is
+attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .errors import SimConfigError
+
+#: Sample kinds recorded by the worker framework.
+QUANTUM = "quantum"      # value = work units completed at that time
+MESSAGE = "message"      # value = 1 (a message was handled)
+IDLE = "idle"            # value = idle-episode start marker
+FINISH = "finish"        # value = 0 (local termination)
+
+
+@dataclass(slots=True)
+class Sample:
+    time: float
+    pid: int
+    kind: str
+    value: float
+
+
+class Tracer:
+    """Collects samples; analysis helpers below."""
+
+    def __init__(self) -> None:
+        self.samples: list[Sample] = []
+        self.enabled = True
+
+    def record(self, time: float, pid: int, kind: str,
+               value: float = 0.0) -> None:
+        """Append one sample (no-op while disabled)."""
+        if self.enabled:
+            self.samples.append(Sample(time, pid, kind, value))
+
+    # -- analysis ------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> list[Sample]:
+        """All samples of one kind, in time order."""
+        return [s for s in self.samples if s.kind == kind]
+
+    def utilization_profile(self, makespan: float, unit_cost: float,
+                            n_workers: int,
+                            buckets: int = 10) -> list[tuple[float, float]]:
+        """(bucket end time, busy fraction) over the run.
+
+        Busy fraction of a bucket = work units completed in it x unit_cost
+        / (n_workers x bucket width). Quantum completions are attributed to
+        their completion bucket, which smears one quantum width — fine for
+        the profile shapes this is used for.
+        """
+        if makespan <= 0 or buckets < 1 or n_workers < 1:
+            raise SimConfigError("need positive makespan/buckets/workers")
+        width = makespan / buckets
+        acc = [0.0] * buckets
+        for s in self.samples:
+            if s.kind == QUANTUM:
+                b = min(buckets - 1, int(s.time / width))
+                acc[b] += s.value * unit_cost
+        return [((b + 1) * width, acc[b] / (n_workers * width))
+                for b in range(buckets)]
+
+    def work_completed_by(self, fraction_of_units: float,
+                          total_units: int) -> Optional[float]:
+        """Time by which the given fraction of all work units was done."""
+        if not (0 < fraction_of_units <= 1):
+            raise SimConfigError("fraction must be in (0, 1]")
+        target = fraction_of_units * total_units
+        done = 0.0
+        for s in self.samples:
+            if s.kind == QUANTUM:
+                done += s.value
+                if done >= target:
+                    return s.time
+        return None
+
+    def idle_episodes(self, pid: int) -> int:
+        """Number of idle-search episodes a worker went through."""
+        return sum(1 for s in self.samples
+                   if s.kind == IDLE and s.pid == pid)
+
+    def per_worker_units(self, n_workers: int) -> list[int]:
+        """Work units completed per worker (pid-indexed)."""
+        out = [0] * n_workers
+        for s in self.samples:
+            if s.kind == QUANTUM:
+                out[s.pid] += int(s.value)
+        return out
+
+    def message_rate(self, makespan: float,
+                     buckets: int = 10) -> list[tuple[float, float]]:
+        """(bucket end time, handled messages / second) over the run."""
+        if makespan <= 0 or buckets < 1:
+            raise SimConfigError("need positive makespan/buckets")
+        width = makespan / buckets
+        acc = [0] * buckets
+        for s in self.samples:
+            if s.kind == MESSAGE:
+                b = min(buckets - 1, int(s.time / width))
+                acc[b] += 1
+        return [((b + 1) * width, acc[b] / width) for b in range(buckets)]
+
+
+def render_profile(profile: list[tuple[float, float]],
+                   label: str = "busy", width: int = 40) -> str:
+    """ASCII bar rendering of a utilization profile."""
+    lines = [f"{'t (ms)':>10} | {label}"]
+    for t, frac in profile:
+        bar = "#" * max(0, min(width, round(frac * width)))
+        lines.append(f"{t * 1e3:10.2f} | {bar} {frac * 100:.0f}%")
+    return "\n".join(lines)
+
+
+__all__ = ["Tracer", "Sample", "render_profile", "QUANTUM", "MESSAGE",
+           "IDLE", "FINISH"]

@@ -1,0 +1,13 @@
+"""Unbalanced Tree Search (Olivier et al.) — the paper's pure LB adversary."""
+
+from .params import PAPER_INSTANCES, PRESETS, UTSPreset, get_preset
+from .rng import child_states, decide_unit, nth_child, root_state
+from .sequential import TreeStats, count_tree
+from .tree import UTSParams, child_counts, expand, root_frontier
+from .work import UTSWork
+
+__all__ = [
+    "UTSParams", "UTSWork", "UTSPreset", "PRESETS", "PAPER_INSTANCES",
+    "get_preset", "TreeStats", "count_tree", "expand", "child_counts",
+    "root_frontier", "root_state", "child_states", "decide_unit", "nth_child",
+]

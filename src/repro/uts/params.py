@@ -1,0 +1,104 @@
+"""Named UTS instances: the paper's and their scaled stand-ins.
+
+The paper evaluates two binomial instances:
+
+* Table I / Fig 5 bottom: ``b=2000 q=0.4999995 m=2 r=599`` — 157·10⁹ nodes;
+* Fig 2 bottom:          ``b=2000 q=0.499995  m=2 r=316`` — 2.8·10⁹ nodes.
+
+Both are constructible here (see :data:`PAPER_INSTANCES`) but are far beyond
+what a pure-Python reproduction can traverse, so the experiment harness uses
+scaled instances with the same structure (same b0 and m, q backed off from
+the critical point just enough to shrink the tree; DESIGN.md §2). Measured
+sizes below were obtained with :func:`repro.uts.sequential.count_tree` and
+are asserted by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.errors import SimConfigError
+from .tree import UTSParams
+
+
+@dataclass(frozen=True, slots=True)
+class UTSPreset:
+    """A named instance with its exact (measured) size."""
+
+    name: str
+    params: UTSParams
+    nodes: int            # exact tree size (0 = unknown / not measurable here)
+    runnable: bool = True  # False for the paper-scale originals
+
+    def describe(self) -> str:
+        size = f"{self.nodes:,} nodes" if self.nodes else "size unknown"
+        return f"{self.name}: {self.params.describe()} [{size}]"
+
+
+#: Instances used by the experiment harness (sizes verified by tests).
+PRESETS: dict[str, UTSPreset] = {
+    "bin_mini": UTSPreset(
+        name="bin_mini",
+        params=UTSParams(variant="bin", b0=20, q=0.45, m=2, root_seed=3),
+        nodes=0,  # a few hundred; tests compute it exactly
+    ),
+    "bin_tiny": UTSPreset(
+        name="bin_tiny",
+        params=UTSParams(variant="bin", b0=4000, q=0.40, m=2, root_seed=1),
+        nodes=21_483,
+    ),
+    "bin_small": UTSPreset(
+        name="bin_small",
+        params=UTSParams(variant="bin", b0=15000, q=0.45, m=2, root_seed=2),
+        nodes=150_969,
+    ),
+    "bin_large": UTSPreset(
+        name="bin_large",
+        params=UTSParams(variant="bin", b0=50000, q=0.495, m=2, root_seed=1),
+        nodes=5_052_819,
+    ),
+    "bin_deep": UTSPreset(
+        name="bin_deep",
+        params=UTSParams(variant="bin", b0=2000, q=0.4995, m=2, root_seed=1),
+        nodes=5_154_273,
+    ),
+    "geo_small": UTSPreset(
+        name="geo_small",
+        params=UTSParams(variant="geo", b0=4, alpha=0.95, depth_max=14,
+                         root_seed=7),
+        nodes=0,  # geo extension; measured by tests
+    ),
+}
+
+#: The paper's original instances — constructible, not traversable here.
+PAPER_INSTANCES: dict[str, UTSPreset] = {
+    "bin157B": UTSPreset(
+        name="bin157B",
+        params=UTSParams(variant="bin", b0=2000, q=0.4999995, m=2,
+                         root_seed=599),
+        nodes=157_000_000_000, runnable=False,
+    ),
+    "bin2.8B": UTSPreset(
+        name="bin2.8B",
+        params=UTSParams(variant="bin", b0=2000, q=0.499995, m=2,
+                         root_seed=316),
+        nodes=2_800_000_000, runnable=False,
+    ),
+}
+
+
+def get_preset(name: str) -> UTSPreset:
+    """Resolve a preset by name; paper-scale names raise with guidance."""
+    if name in PRESETS:
+        return PRESETS[name]
+    if name in PAPER_INSTANCES:
+        raise SimConfigError(
+            f"{name} is a paper-scale instance "
+            f"({PAPER_INSTANCES[name].nodes:,} nodes) and cannot be "
+            "traversed here; use one of the scaled presets "
+            f"{sorted(PRESETS)} (DESIGN.md §2)")
+    raise SimConfigError(
+        f"unknown UTS preset {name!r}; known: {sorted(PRESETS)}")
+
+
+__all__ = ["UTSPreset", "PRESETS", "PAPER_INSTANCES", "get_preset"]

@@ -1,0 +1,70 @@
+"""Sequential UTS: exact tree counting, the correctness oracle.
+
+Every parallel run's node count must equal :func:`count_tree`'s result for
+the same parameters — this is the end-to-end invariant the integration
+tests assert for every protocol/overlay combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.errors import SimConfigError
+from .tree import UTSParams, _rng_fns, child_counts, root_frontier
+
+#: Expansion batch bound: caps peak memory on very wide frontiers.
+BATCH = 1 << 15
+
+
+@dataclass(frozen=True, slots=True)
+class TreeStats:
+    """Result of a full sequential traversal (root included in ``nodes``)."""
+
+    nodes: int
+    leaves: int
+    max_depth: int
+
+    def __str__(self) -> str:
+        return (f"nodes={self.nodes:,} leaves={self.leaves:,} "
+                f"max_depth={self.max_depth}")
+
+
+def count_tree(params: UTSParams, max_nodes: int | None = None) -> TreeStats:
+    """Traverse the whole tree, counting nodes, leaves and max depth.
+
+    Args:
+        params: the instance.
+        max_nodes: safety valve — raise if the traversal exceeds this many
+            nodes (protects against accidentally running a paper-scale
+            instance interactively).
+    """
+    states, depths = root_frontier(params)
+    nodes = 1  # the root
+    leaves = 1 if params.b0 == 0 else 0
+    max_depth = 0 if params.b0 == 0 else 1
+    stack: list[tuple[np.ndarray, np.ndarray]] = [(states, depths)]
+    while stack:
+        s, d = stack.pop()
+        if len(s) == 0:
+            continue
+        if len(s) > BATCH:
+            stack.append((s[BATCH:], d[BATCH:]))
+            s, d = s[:BATCH], d[:BATCH]
+        nodes += len(s)
+        if max_nodes is not None and nodes > max_nodes:
+            raise SimConfigError(
+                f"tree exceeded max_nodes={max_nodes:,}; instance "
+                f"{params.describe()} is larger than expected")
+        counts = child_counts(s, d, params)
+        leaves += int((counts == 0).sum())
+        if counts.any():
+            cs = _rng_fns(params)[2](s, counts)
+            cd = (np.repeat(d, counts) + np.int32(1)).astype(np.int32)
+            max_depth = max(max_depth, int(cd.max()))
+            stack.append((cs, cd))
+    return TreeStats(nodes=nodes, leaves=leaves, max_depth=max_depth)
+
+
+__all__ = ["TreeStats", "count_tree", "BATCH"]

@@ -1,0 +1,138 @@
+"""UTS tree shapes: the child-count rules (Olivier et al., LCPC'06).
+
+The paper's experiments use **binomial** trees: the root has exactly ``b0``
+children; every other node has ``m`` children with probability ``q`` and
+none otherwise. With ``m*q`` close to (but below) 1 the tree is a critical
+Galton–Watson process: finite, but with unbounded variance in subtree sizes
+— the designed worst case for dynamic load balancing.
+
+A **geometric** variant is provided as well (branching factor decaying with
+depth, depth-bounded), so the suite covers both canonical UTS families; the
+paper's tables only exercise BIN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.errors import SimConfigError
+from . import rng as uts_rng
+
+
+@dataclass(frozen=True, slots=True)
+class UTSParams:
+    """Parameters of one UTS instance.
+
+    Binomial (``variant="bin"``): root has ``b0`` children; non-root nodes
+    have ``m`` children with probability ``q``. The paper writes these as
+    generator parameters ``(b, q, m, r)``.
+
+    Geometric (``variant="geo"``): expected branching at depth d is
+    ``b0 * alpha**d`` (stochastic rounding), truncated at ``depth_max``.
+    """
+
+    variant: str = "bin"
+    b0: int = 2000
+    q: float = 0.4999995
+    m: int = 2
+    root_seed: int = 599
+    alpha: float = 0.85
+    depth_max: int = 30
+    #: state-mixing function: "splitmix" (vectorised default) or "sha1"
+    #: (the original benchmark's mixer family; ~20x slower, for fidelity
+    #: demonstrations — see repro.uts.rng)
+    rng: str = "splitmix"
+
+    def __post_init__(self) -> None:
+        if self.variant not in ("bin", "geo"):
+            raise SimConfigError(f"unknown UTS variant {self.variant!r}")
+        if self.rng not in ("splitmix", "sha1"):
+            raise SimConfigError(f"unknown UTS rng {self.rng!r}")
+        if self.b0 < 1:
+            raise SimConfigError("b0 must be >= 1")
+        if self.variant == "bin":
+            if not (0.0 <= self.q <= 1.0):
+                raise SimConfigError("q must be in [0, 1]")
+            if self.m < 1:
+                raise SimConfigError("m must be >= 1")
+            if self.m * self.q >= 1.0:
+                raise SimConfigError(
+                    f"m*q = {self.m * self.q} >= 1: the binomial tree would "
+                    "be infinite with positive probability")
+        else:
+            if not (0.0 < self.alpha < 1.0):
+                raise SimConfigError("alpha must be in (0, 1)")
+            if self.depth_max < 1:
+                raise SimConfigError("depth_max must be >= 1")
+
+    @property
+    def expected_size(self) -> float:
+        """Expected number of tree nodes (exact for bin; rough for geo)."""
+        if self.variant == "bin":
+            mean_subtree = 1.0 / (1.0 - self.m * self.q)
+            return 1.0 + self.b0 * mean_subtree
+        total, width = 1.0, float(self.b0)
+        for d in range(1, self.depth_max + 1):
+            total += width
+            width *= self.b0 * self.alpha ** d
+            if width < 1e-9:
+                break
+        return total
+
+    def describe(self) -> str:
+        if self.variant == "bin":
+            return (f"BIN(b={self.b0} q={self.q:g} m={self.m} "
+                    f"r={self.root_seed})")
+        return (f"GEO(b={self.b0} alpha={self.alpha:g} "
+                f"dmax={self.depth_max} r={self.root_seed})")
+
+
+def _rng_fns(params: UTSParams):
+    if params.rng == "sha1":
+        return (uts_rng.sha1_root_state, uts_rng.sha1_decide_unit,
+                uts_rng.sha1_child_states)
+    return uts_rng.root_state, uts_rng.decide_unit, uts_rng.child_states
+
+
+def root_frontier(params: UTSParams) -> tuple[np.ndarray, np.ndarray]:
+    """(states, depths) of the root's children — the tree minus its root."""
+    root_fn, _, children_fn = _rng_fns(params)
+    root = root_fn(params.root_seed)
+    counts = np.array([params.b0], dtype=np.int64)
+    states = children_fn(np.array([root], dtype=np.uint64), counts)
+    return states, np.ones(params.b0, dtype=np.int32)
+
+
+def child_counts(states: np.ndarray, depths: np.ndarray,
+                 params: UTSParams) -> np.ndarray:
+    """Number of children of each non-root node in the batch (vectorised)."""
+    _, decide_fn, _ = _rng_fns(params)
+    u = decide_fn(states)
+    if params.variant == "bin":
+        return np.where(u < params.q, params.m, 0).astype(np.int64)
+    expected = params.b0 * np.power(params.alpha, depths.astype(np.float64))
+    base = np.floor(expected).astype(np.int64)
+    counts = base + (u < (expected - base)).astype(np.int64)
+    counts[depths >= params.depth_max] = 0
+    return counts
+
+
+def expand(states: np.ndarray, depths: np.ndarray,
+           params: UTSParams) -> tuple[np.ndarray, np.ndarray]:
+    """Children of a batch of non-root nodes (vectorised).
+
+    Returns (child_states, child_depths); empty arrays when all given nodes
+    are leaves. Deterministic: depends only on node states (+ depth for geo).
+    """
+    if len(states) == 0:
+        return (np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int32))
+    counts = child_counts(states, depths, params)
+    _, _, children_fn = _rng_fns(params)
+    children = children_fn(states, counts)
+    child_depths = np.repeat(depths, counts) + np.int32(1)
+    return children, child_depths.astype(np.int32, copy=False)
+
+
+__all__ = ["UTSParams", "root_frontier", "child_counts", "expand"]

@@ -1,0 +1,154 @@
+"""UTS as splittable work: a stack of pending tree nodes.
+
+A :class:`UTSWork` holds the node descriptors (state word + depth) of tree
+nodes whose subtrees still have to be explored. Processing pops from the
+top (depth-first) and pushes children; stealing takes entries from the
+*bottom* of the stack — the oldest, statistically largest subtrees — the
+standard work-stealing granularity argument (Blumofe & Leiserson).
+
+Conservation invariant (property-tested): split/merge never create or lose
+stack entries, and the total number of nodes popped across any set of
+workers equals the sequential tree size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..sim.errors import SimConfigError
+from ..work.base import WorkItem
+from . import rng as uts_rng
+from .tree import UTSParams, expand
+
+#: Wire bytes per stack entry: 8 (state) + 4 (depth).
+ENTRY_BYTES = 12
+_MIN_CAP = 64
+
+
+class UTSWork(WorkItem):
+    """Splittable stack of pending UTS nodes (see module docstring)."""
+
+    __slots__ = ("params", "_states", "_depths", "_size")
+
+    def __init__(self, params: UTSParams,
+                 states: Optional[np.ndarray] = None,
+                 depths: Optional[np.ndarray] = None) -> None:
+        self.params = params
+        n = 0 if states is None else len(states)
+        cap = max(_MIN_CAP, n)
+        self._states = np.empty(cap, dtype=np.uint64)
+        self._depths = np.empty(cap, dtype=np.int32)
+        if n:
+            self._states[:n] = states
+            self._depths[:n] = depths
+        self._size = n
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def root(cls, params: UTSParams) -> "UTSWork":
+        """The whole tree: a stack holding only the root descriptor."""
+        return cls(params,
+                   states=np.array([uts_rng.root_state(params.root_seed)],
+                                   dtype=np.uint64),
+                   depths=np.zeros(1, dtype=np.int32))
+
+    @classmethod
+    def empty(cls, params: UTSParams) -> "UTSWork":
+        """An empty stack for the same instance."""
+        return cls(params)
+
+    # -- WorkItem interface -----------------------------------------------------
+
+    def amount(self) -> int:
+        return self._size
+
+    def split(self, fraction: float) -> Optional["UTSWork"]:
+        give = int(fraction * self._size)
+        give = min(give, self._size - 1)  # the victim keeps at least one node
+        if give <= 0:
+            return None
+        piece = UTSWork(self.params,
+                        states=self._states[:give].copy(),
+                        depths=self._depths[:give].copy())
+        keep = self._size - give
+        self._states[:keep] = self._states[give:self._size]
+        self._depths[:keep] = self._depths[give:self._size]
+        self._size = keep
+        return piece
+
+    def merge(self, other: WorkItem) -> None:
+        if not isinstance(other, UTSWork):
+            raise SimConfigError("cannot merge non-UTS work into UTSWork")
+        k = other._size
+        if k == 0:
+            return
+        self._reserve(self._size + k)
+        # Incoming (old, large) subtrees slide under the current stack.
+        self._states[k:k + self._size] = self._states[:self._size]
+        self._depths[k:k + self._size] = self._depths[:self._size]
+        self._states[:k] = other._states[:k]
+        self._depths[:k] = other._depths[:k]
+        self._size += k
+        other._size = 0
+
+    def encoded_bytes(self) -> int:
+        return ENTRY_BYTES * self._size
+
+    # -- processing ---------------------------------------------------------------
+
+    def process(self, max_units: int) -> int:
+        """Expand up to ``max_units`` nodes depth-first; returns nodes done."""
+        if max_units <= 0 or self._size == 0:
+            return 0
+        take = min(max_units, self._size)
+        lo = self._size - take
+        s = self._states[lo:self._size].copy()
+        d = self._depths[lo:self._size].copy()
+        self._size = lo
+        done = take
+        root_mask = d == 0
+        if root_mask.any():
+            # the pseudo-root entry expands to exactly b0 children
+            from .tree import root_frontier
+            cs, cd = root_frontier(self.params)
+            self._push(cs, cd)
+            s, d = s[~root_mask], d[~root_mask]
+        cs, cd = expand(s, d, self.params)
+        if len(cs):
+            self._push(cs, cd)
+        return done
+
+    # -- internals -------------------------------------------------------------------
+
+    def _reserve(self, need: int) -> None:
+        cap = len(self._states)
+        if need <= cap:
+            return
+        while cap < need:
+            cap *= 2
+        ns = np.empty(cap, dtype=np.uint64)
+        nd = np.empty(cap, dtype=np.int32)
+        ns[:self._size] = self._states[:self._size]
+        nd[:self._size] = self._depths[:self._size]
+        self._states, self._depths = ns, nd
+
+    def _push(self, states: np.ndarray, depths: np.ndarray) -> None:
+        k = len(states)
+        self._reserve(self._size + k)
+        self._states[self._size:self._size + k] = states
+        self._depths[self._size:self._size + k] = depths
+        self._size += k
+
+    def peek(self) -> tuple[np.ndarray, np.ndarray]:
+        """(states, depths) view of the live stack — tests only."""
+        return (self._states[:self._size].copy(),
+                self._depths[:self._size].copy())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"UTSWork(size={self._size}, {self.params.describe()})"
+
+
+__all__ = ["UTSWork", "ENTRY_BYTES"]

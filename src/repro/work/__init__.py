@@ -1,0 +1,11 @@
+"""Splittable-work abstraction and work-sharing policies."""
+
+from .base import WorkItem, clamp_fraction
+from .sharing import (PROPORTIONAL, STEAL_HALF, LinkKind, ShareContext,
+                      SharingPolicy, fixed_fraction, get_policy, steal_k)
+
+__all__ = [
+    "WorkItem", "clamp_fraction", "LinkKind", "ShareContext",
+    "SharingPolicy", "PROPORTIONAL", "STEAL_HALF", "steal_k",
+    "fixed_fraction", "get_policy",
+]

@@ -1,0 +1,12 @@
+"""Shared test configuration."""
+
+from hypothesis import HealthCheck, settings
+
+# Whole-simulation property tests are slow by nature; the default 200ms
+# deadline would flake on loaded CI machines.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,99 @@
+"""Tests for the application adapters."""
+
+import pytest
+
+from repro.apps.base import ProcessOutcome
+from repro.apps.bnb_app import BNB_UNIT_COST, BnBApplication
+from repro.apps.synthetic import SyntheticApplication, SyntheticWork
+from repro.apps.uts_app import UTS_UNIT_COST, UTSApplication
+from repro.bnb.state import INF
+from repro.bnb.taillard import scaled_instance
+from repro.sim.errors import SimConfigError
+from repro.uts.params import PRESETS
+
+
+def test_uts_app_processes_tree():
+    app = UTSApplication(PRESETS["bin_mini"].params)
+    work = app.initial_work()
+    total = 0
+    while not work.is_empty():
+        out = app.process(work, 64, None)
+        assert isinstance(out, ProcessOutcome)
+        assert not out.improved
+        total += out.units
+    from repro.uts.sequential import count_tree
+    assert total == count_tree(app.params).nodes
+    assert app.make_shared() is None
+    assert app.unit_cost == UTS_UNIT_COST
+    assert "UTS" in app.describe()
+
+
+def test_bnb_app_solves_instance():
+    inst = scaled_instance(5, n_jobs=6, n_machines=5)
+    app = BnBApplication(inst)
+    work = app.initial_work()
+    shared = app.make_shared()
+    assert shared.value == INF
+    improved_seen = False
+    while not work.is_empty():
+        out = app.process(work, 128, shared)
+        improved_seen = improved_seen or out.improved
+    assert improved_seen
+    from repro.bnb.engine import solve_bruteforce
+    assert shared.value == solve_bruteforce(inst)[0]
+    assert app.unit_cost == BNB_UNIT_COST
+
+
+def test_bnb_app_shared_value_roundtrip():
+    inst = scaled_instance(5, n_jobs=6, n_machines=5)
+    app = BnBApplication(inst)
+    shared = app.make_shared()
+    assert app.shared_value(shared) is None  # INF: nothing to diffuse
+    shared.update(777, (0, 1, 2, 3, 4, 5))
+    assert app.shared_value(shared) == 777
+    assert app.absorb_value(shared, 700) is True
+    assert app.absorb_value(shared, 800) is False
+    assert shared.value == 700
+
+
+def test_bnb_warm_start_state():
+    inst = scaled_instance(5, n_jobs=6, n_machines=5)
+    from repro.bnb.neh import neh
+    heuristic, _ = neh(inst)
+    app = BnBApplication(inst, warm_start=True)
+    shared = app.make_shared()
+    assert shared.value == heuristic + 1
+    # warm-started search still finds the exact optimum
+    work = app.initial_work()
+    while not work.is_empty():
+        app.process(work, 512, shared)
+    from repro.bnb.engine import solve_bruteforce
+    assert shared.value == solve_bruteforce(inst)[0]
+
+
+def test_synthetic_validation_and_take():
+    with pytest.raises(SimConfigError):
+        SyntheticApplication(0)
+    with pytest.raises(SimConfigError):
+        SyntheticWork(-1)
+    w = SyntheticWork(10)
+    assert w.take(4) == 4
+    assert w.take(100) == 6
+    assert w.is_empty()
+
+
+def test_synthetic_split_merge():
+    w = SyntheticWork(10)
+    piece = w.split(0.5)
+    assert piece.units == 5 and w.units == 5
+    w.merge(piece)
+    assert w.units == 10 and piece.units == 0
+    assert w.split(0.0) is None
+    tiny = SyntheticWork(1)
+    assert tiny.split(0.99) is None
+    with pytest.raises(SimConfigError):
+        w.merge(object())
+
+
+def test_synthetic_encoded_bytes():
+    assert SyntheticWork(5).encoded_bytes() == 8

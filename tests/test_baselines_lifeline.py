@@ -1,0 +1,100 @@
+"""Tests for the lifeline-stealing extension (Saraswat et al.)."""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticApplication
+from repro.apps.uts_app import UTSApplication
+from repro.baselines.lifeline import DEFAULT_W, LifelineWorker
+from repro.core.worker import WorkerConfig
+from repro.experiments.runner import RunConfig, run_once
+from repro.sim import Simulator, uniform_network
+from repro.uts.params import PRESETS
+from repro.uts.sequential import count_tree
+
+MINI = PRESETS["bin_mini"].params
+MINI_NODES = count_tree(MINI).nodes
+
+
+def run_ll(n, total=2000, seed=3, quantum=16, w=DEFAULT_W):
+    app = SyntheticApplication(total, unit_cost=1e-5)
+    sim = Simulator(uniform_network(latency=1e-4), seed=seed)
+    workers = [sim.add_process(LifelineWorker(
+        p, n, app, WorkerConfig(quantum=quantum, seed=seed), w=w))
+        for p in range(n)]
+    stats = sim.run()
+    return workers, stats
+
+
+def test_conservation_and_termination():
+    workers, stats = run_ll(16)
+    assert stats.total_work_units == 2000
+    assert all(w.terminated for w in workers)
+
+
+@pytest.mark.parametrize("n", [1, 2, 5, 8, 16, 20])
+def test_various_sizes_including_non_powers_of_two(n):
+    workers, stats = run_ll(n)
+    assert stats.total_work_units == 2000
+    assert all(w.terminated for w in workers)
+
+
+def test_lifeline_graph_is_hypercube():
+    workers, _ = run_ll(8, total=100)
+    assert sorted(workers[0].lifelines) == [1, 2, 4]
+    assert sorted(workers[5].lifelines) == [1, 4, 7]
+
+
+def test_lifelines_activate_after_w_failures():
+    """With w=1, lifelines arm quickly under scarce work."""
+    workers, stats = run_ll(16, total=200, w=1)
+    assert stats.total_work_units == 200
+    # some lifeline requests happened (steals > pure random attempts)
+    assert stats.total_steals > 0
+
+
+def test_through_runner_uts():
+    r = run_once(RunConfig(protocol="LIFELINE", n=24, quantum=64, seed=7),
+                 UTSApplication(MINI))
+    assert r.total_units == MINI_NODES
+
+
+def test_through_runner_bnb():
+    from repro.apps.bnb_app import BnBApplication
+    from repro.bnb.engine import solve_bruteforce
+    from repro.bnb.taillard import scaled_instance
+    inst = scaled_instance(6, n_jobs=7, n_machines=5)
+    r = run_once(RunConfig(protocol="LIFELINE", n=12, quantum=16, seed=7),
+                 BnBApplication(inst))
+    assert r.optimum == solve_bruteforce(inst)[0]
+
+
+def test_deterministic():
+    a = run_ll(12, seed=5)[1]
+    b = run_ll(12, seed=5)[1]
+    assert (a.makespan, a.total_msgs) == (b.makespan, b.total_msgs)
+
+
+def test_heterogeneous_speeds_still_conserve():
+    for proto in ("BTD", "RWS", "LIFELINE"):
+        r = run_once(RunConfig(protocol=proto, n=16, dmax=4, quantum=32,
+                               seed=9, speed_spread=0.6),
+                     UTSApplication(MINI))
+        assert r.total_units == MINI_NODES
+
+
+def test_speed_scales_virtual_time():
+    app = SyntheticApplication(1000, unit_cost=1e-5)
+
+    class Lone(LifelineWorker):
+        def on_idle(self):
+            self.finish()
+
+    def one(speed):
+        sim = Simulator(uniform_network(), seed=1)
+        w = Lone(0, 1, app_ := SyntheticApplication(1000, unit_cost=1e-5),
+                 WorkerConfig(quantum=1000, speed=speed))
+        w.work = app_.initial_work()
+        sim.add_process(w)
+        return sim.run().per_process[0].busy_time
+
+    assert one(2.0) == pytest.approx(one(1.0) / 2)

@@ -1,0 +1,102 @@
+"""Protocol-level tests of random work stealing."""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticApplication
+from repro.baselines.rws import NACK, STEAL, RWSWorker, detection_tree
+from repro.core.worker import WorkerConfig
+from repro.sim import Simulator, uniform_network
+
+
+def run_rws(n, total=2000, seed=3, quantum=16, initial_pid=0, sharing="half"):
+    app = SyntheticApplication(total, unit_cost=1e-5)
+    sim = Simulator(uniform_network(latency=1e-4), seed=seed)
+    workers = [sim.add_process(RWSWorker(
+        p, n, app, WorkerConfig(quantum=quantum, seed=seed),
+        initial_pid=initial_pid, sharing=sharing)) for p in range(n)]
+    stats = sim.run()
+    return workers, stats
+
+
+def test_detection_tree_shape():
+    assert detection_tree(0, 7) == (-1, [1, 2])
+    assert detection_tree(1, 7) == (0, [3, 4])
+    assert detection_tree(3, 7) == (1, [])
+    assert detection_tree(6, 7) == (2, [])
+    # single node
+    assert detection_tree(0, 1) == (-1, [])
+
+
+def test_all_work_done_and_terminated():
+    workers, stats = run_rws(12)
+    assert stats.total_work_units == 2000
+    assert all(w.terminated for w in workers)
+
+
+def test_initial_work_anywhere():
+    workers, stats = run_rws(8, initial_pid=5)
+    assert stats.total_work_units == 2000
+    assert all(w.terminated for w in workers)
+
+
+def test_single_worker():
+    workers, stats = run_rws(1)
+    assert stats.total_work_units == 2000
+    assert workers[0].terminated
+
+
+def test_work_spreads():
+    _, stats = run_rws(8, total=8000)
+    assert sum(1 for p in stats.per_process if p.work_units > 0) >= 6
+
+
+def test_steal_half_sharing():
+    """A victim's first grant is about half its work."""
+    from repro.baselines.rws import RWSWorker as W
+    grants = []
+    orig = W.handle
+
+    def spy(self, msg):
+        if msg.kind == STEAL and not self.work.is_empty():
+            before = self.work.amount()
+            orig(self, msg)
+            grants.append((before, before - self.work.amount()))
+            return
+        orig(self, msg)
+
+    W.handle = spy
+    try:
+        run_rws(4, total=4000, quantum=4)
+    finally:
+        W.handle = orig
+    assert grants
+    before, given = grants[0]
+    assert given == before // 2
+
+
+def test_nacks_happen_and_retries_follow():
+    _, stats = run_rws(16, total=500)
+    # with little work and many thieves, some steals fail
+    assert stats.total_steals > stats.total_steals_ok
+
+
+def test_victims_chosen_uniformly_ish():
+    """Victim choice covers the id space (no self-steals)."""
+    from repro.sim.rng import RngStream
+    rng = RngStream(7, "rws", 3)
+    n = 10
+    seen = set()
+    for _ in range(500):
+        v = rng.randrange(n - 1)
+        if v >= 3:
+            v += 1
+        assert v != 3
+        seen.add(v)
+    assert len(seen) == n - 1
+
+
+def test_deterministic():
+    a = run_rws(8, seed=11)[1]
+    b = run_rws(8, seed=11)[1]
+    assert a.makespan == b.makespan
+    assert a.total_msgs == b.total_msgs

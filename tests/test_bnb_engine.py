@@ -1,0 +1,130 @@
+"""Engine tests: optimality, resumability, split-anywhere correctness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bnb.engine import BnBEngine, solve_bruteforce
+from repro.bnb.flowshop import make_instance
+from repro.bnb.interval import tree_leaves
+from repro.bnb.state import INF, BoundState
+from repro.bnb.taillard import scaled_instance
+from repro.bnb.work import BnBWork
+from repro.sim.errors import SimConfigError
+
+INST6 = scaled_instance(1, n_jobs=6, n_machines=5)
+
+
+@pytest.mark.parametrize("bound", ["trivial", "lb1", "johnson", "llrk"])
+def test_solve_matches_bruteforce(bound):
+    opt, perm = solve_bruteforce(INST6)
+    value, found_perm, nodes = BnBEngine(INST6, bound=bound).solve()
+    assert value == opt
+    assert INST6.makespan(found_perm) == value
+    assert nodes <= sum(tree_leaves(6) // 1 for _ in range(1))  # sanity
+
+
+def test_stronger_bound_explores_fewer_nodes():
+    _, _, n_triv = BnBEngine(INST6, bound="trivial").solve()
+    _, _, n_lb1 = BnBEngine(INST6, bound="lb1").solve()
+    _, _, n_llrk = BnBEngine(INST6, bound="llrk").solve()
+    assert n_lb1 <= n_triv
+    assert n_llrk <= n_lb1
+
+
+def test_small_quantum_same_answer():
+    coarse = BnBEngine(INST6).solve(quantum=10**9)
+    fine = BnBEngine(INST6).solve(quantum=7)
+    assert coarse[0] == fine[0]
+    assert coarse[2] == fine[2]  # identical node count: DFS order unchanged
+
+
+def test_explore_budget_respected():
+    engine = BnBEngine(INST6)
+    work = BnBWork.full_tree(6)
+    res = engine.explore(work, BoundState(), max_nodes=10)
+    assert 1 <= res.nodes <= 16  # may finish the frame batch slightly over?
+    assert not res.exhausted
+
+
+def test_explore_interval_positions_monotone():
+    engine = BnBEngine(INST6)
+    work = BnBWork.full_tree(6)
+    shared = BoundState()
+    prev = 0
+    while not work.is_empty():
+        engine.explore(work, shared, 50)
+        head = work.head()
+        if head is not None:
+            assert head[0] > prev or head[0] == prev  # non-decreasing
+            prev = head[0]
+    assert shared.value == solve_bruteforce(INST6)[0]
+
+
+def test_split_across_workers_same_optimum():
+    """Splitting the interval anywhere yields the same optimum."""
+    opt = solve_bruteforce(INST6)[0]
+    total = tree_leaves(6)
+    for cut in (1, 17, total // 3, total // 2, total - 1):
+        w1 = BnBWork(6, [(0, cut)])
+        w2 = BnBWork(6, [(cut, total)])
+        s1, s2 = BoundState(), BoundState()
+        e = BnBEngine(INST6)
+        while not w1.is_empty():
+            e.explore(w1, s1, 1000)
+        while not w2.is_empty():
+            e.explore(w2, s2, 1000)
+        assert min(s1.value, s2.value) == opt
+
+
+def test_shared_bound_prunes_more():
+    """Starting with the optimal UB explores far fewer nodes."""
+    opt, _ = solve_bruteforce(INST6)
+    e = BnBEngine(INST6)
+    cold = e.solve()[2]
+    warm_state = BoundState(value=opt + 1)
+    warm = 0
+    work = BnBWork.full_tree(6)
+    while not work.is_empty():
+        warm += e.explore(work, warm_state, 10**6).nodes
+    assert warm < cold
+    assert warm_state.value == opt
+
+
+def test_engine_rejects_mismatched_work():
+    e = BnBEngine(INST6)
+    with pytest.raises(SimConfigError):
+        e.explore(BnBWork.full_tree(5), BoundState(), 10)
+
+
+def test_solve_max_nodes_guard():
+    with pytest.raises(SimConfigError):
+        BnBEngine(INST6).solve(quantum=50, max_nodes=5)
+
+
+def test_boundstate():
+    s = BoundState()
+    assert s.value == INF and s.perm is None
+    assert s.update(100, (0, 1)) is True
+    assert s.update(100) is False
+    assert s.update(99) is True
+    assert s.perm == (0, 1)  # perm only replaced when provided
+    assert s.version == 2
+    assert s.snapshot() == (99, (0, 1))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=1, max_value=10), st.integers(min_value=4,
+                                                           max_value=6))
+def test_property_engine_optimal_on_taillard_prefixes(idx, n_jobs):
+    inst = scaled_instance(idx, n_jobs=n_jobs, n_machines=4)
+    opt, _ = solve_bruteforce(inst)
+    assert BnBEngine(inst, bound="lb1").solve()[0] == opt
+
+
+def test_resume_equivalence():
+    """Pausing/resuming mid-interval does not change what gets explored."""
+    e1 = BnBEngine(INST6)
+    v1, p1, n1 = e1.solve(quantum=10**9)
+    e2 = BnBEngine(INST6)
+    v2, p2, n2 = e2.solve(quantum=3)
+    assert (v1, n1) == (v2, n2)

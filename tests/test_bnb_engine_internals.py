@@ -1,0 +1,124 @@
+"""Deeper engine tests: resume boundaries, pause points, partial blocks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bnb.engine import BnBEngine, solve_bruteforce
+from repro.bnb.flowshop import make_instance
+from repro.bnb.interval import prefix_block, tree_leaves
+from repro.bnb.state import BoundState
+from repro.bnb.taillard import scaled_instance
+from repro.bnb.work import BnBWork
+
+INST = scaled_instance(7, n_jobs=7, n_machines=5)
+OPT, _ = solve_bruteforce(INST)
+N = INST.n_jobs
+
+
+def explore_all(engine, work, shared, quantum):
+    nodes = 0
+    while not work.is_empty():
+        nodes += engine.explore(work, shared, quantum).nodes
+    return nodes
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=400))
+def test_property_node_count_independent_of_quantum(quantum):
+    engine = BnBEngine(INST)
+    ref_nodes = explore_all(BnBEngine(INST), BnBWork.full_tree(N),
+                            BoundState(), 10**9)
+    nodes = explore_all(engine, BnBWork.full_tree(N), BoundState(), quantum)
+    assert nodes == ref_nodes
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=tree_leaves(7) - 1),
+                min_size=1, max_size=5, unique=True))
+def test_property_any_partition_finds_optimum(cuts):
+    """Cutting [0, n!) at arbitrary positions never loses the optimum."""
+    bounds = sorted({0, tree_leaves(N), *cuts})
+    best = None
+    engine = BnBEngine(INST)
+    for a, b in zip(bounds, bounds[1:]):
+        shared = BoundState()
+        work = BnBWork(N, [(a, b)])
+        explore_all(engine, work, shared, 500)
+        if shared.perm is not None and (best is None or shared.value < best):
+            best = shared.value
+    assert best == OPT
+
+
+def test_partial_block_overshoot_is_safe():
+    """An interval ending mid-block explores only what it must."""
+    # block of the second depth-1 child, cut in half
+    start, end = prefix_block([1], N)
+    mid = (start + end) // 2
+    engine = BnBEngine(INST)
+    s1, s2 = BoundState(), BoundState()
+    explore_all(engine, BnBWork(N, [(start, mid)]), s1, 100)
+    explore_all(engine, BnBWork(N, [(mid, end)]), s2, 100)
+    # together they cover the block: same best as exploring it whole
+    s_all = BoundState()
+    explore_all(engine, BnBWork(N, [(start, end)]), s_all, 100)
+    assert min(s1.value, s2.value) == s_all.value
+
+
+def test_empty_interval_rejected():
+    with pytest.raises(Exception):
+        BnBWork(N, [(5, 5)])
+
+
+def test_explore_zero_budget():
+    engine = BnBEngine(INST)
+    work = BnBWork.full_tree(N)
+    res = engine.explore(work, BoundState(), 0)
+    assert res.nodes == 0
+    assert not res.exhausted
+
+
+def test_single_leaf_interval():
+    engine = BnBEngine(INST)
+    for pos in (0, 1, tree_leaves(N) - 1):
+        shared = BoundState()
+        work = BnBWork(N, [(pos, pos + 1)])
+        explore_all(engine, work, shared, 100)
+        from repro.bnb.interval import position_to_permutation
+        perm = position_to_permutation(pos, N)
+        assert shared.value <= INST.makespan(perm)
+
+
+def test_multi_interval_work_explored_in_order():
+    engine = BnBEngine(INST)
+    shared = BoundState()
+    work = BnBWork(N, [(0, 10), (100, 120), (5000, 5040)])
+    total = explore_all(engine, work, shared, 7)
+    assert total > 0
+    assert work.is_empty()
+
+
+def test_rebuild_handles_all_digit_patterns():
+    """Positions with zero/nonzero digit tails all resume correctly."""
+    engine = BnBEngine(INST)
+    leaves = tree_leaves(N)
+    # positions engineered to hit: all-zero digits, deep nonzero, shallow
+    positions = [0, 1, 720, 721, 2521, leaves // 2, leaves - 2]
+    for a in positions:
+        shared = BoundState()
+        work = BnBWork(N, [(a, min(a + 100, leaves))])
+        explore_all(engine, work, shared, 13)
+        assert work.is_empty()
+
+
+def test_ub_carried_across_intervals():
+    """The UB found in an early interval prunes later ones."""
+    engine = BnBEngine(INST)
+    shared_together = BoundState()
+    w = BnBWork(N, [(0, 2000), (3000, 5000)])
+    n_together = explore_all(engine, w, shared_together, 10**9)
+    # same intervals, fresh states: no UB carry-over
+    n_separate = 0
+    for iv in [(0, 2000), (3000, 5000)]:
+        n_separate += explore_all(engine, BnBWork(N, [iv]), BoundState(),
+                                  10**9)
+    assert n_together <= n_separate

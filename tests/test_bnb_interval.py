@@ -1,0 +1,91 @@
+"""Tests for the factoradic interval encoding."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bnb.interval import (digits_to_position, factorials,
+                                permutation_to_position, position_to_digits,
+                                position_to_permutation, prefix_block,
+                                tree_leaves)
+from repro.sim.errors import SimConfigError
+
+
+def test_factorials():
+    assert factorials(5) == (1, 1, 2, 6, 24, 120)
+    assert tree_leaves(20) == 2432902008176640000
+    with pytest.raises(SimConfigError):
+        factorials(-1)
+
+
+def test_dfs_order_is_lexicographic():
+    """Leaf k is the k-th permutation in lexicographic order."""
+    n = 4
+    perms = list(itertools.permutations(range(n)))
+    for k, perm in enumerate(perms):
+        assert tuple(position_to_permutation(k, n)) == perm
+        assert permutation_to_position(perm) == k
+
+
+def test_digits_roundtrip_exhaustive_small():
+    n = 5
+    for pos in range(tree_leaves(n)):
+        d = position_to_digits(pos, n)
+        assert digits_to_position(d, n) == pos
+
+
+def test_position_bounds():
+    with pytest.raises(SimConfigError):
+        position_to_digits(-1, 3)
+    with pytest.raises(SimConfigError):
+        position_to_digits(6, 3)
+    with pytest.raises(SimConfigError):
+        digits_to_position([3, 0, 0], 3)  # digit 0 must be < 3
+    with pytest.raises(SimConfigError):
+        digits_to_position([0, 0], 3)
+
+
+def test_permutation_to_position_validates():
+    with pytest.raises(SimConfigError):
+        permutation_to_position([0, 0, 1])
+
+
+def test_prefix_block():
+    # n=4: fixing first job = rank-2 job covers [2*3!, 3*3!) = [12, 18)
+    assert prefix_block([2], 4) == (12, 18)
+    assert prefix_block([], 4) == (0, 24)
+    assert prefix_block([2, 0], 4) == (12, 14)
+    with pytest.raises(SimConfigError):
+        prefix_block([4], 4)
+
+
+def test_prefix_block_contains_its_leaves():
+    n = 4
+    a, b = prefix_block([1], n)
+    for pos in range(a, b):
+        assert position_to_permutation(pos, n)[0] == 1
+
+
+@given(st.integers(min_value=2, max_value=9), st.data())
+def test_property_roundtrip(n, data):
+    pos = data.draw(st.integers(min_value=0, max_value=tree_leaves(n) - 1))
+    perm = position_to_permutation(pos, n)
+    assert sorted(perm) == list(range(n))
+    assert permutation_to_position(perm) == pos
+
+
+@given(st.integers(min_value=2, max_value=8), st.data())
+def test_property_order_isomorphism(n, data):
+    p1 = data.draw(st.integers(min_value=0, max_value=tree_leaves(n) - 1))
+    p2 = data.draw(st.integers(min_value=0, max_value=tree_leaves(n) - 1))
+    perm1 = tuple(position_to_permutation(p1, n))
+    perm2 = tuple(position_to_permutation(p2, n))
+    assert (p1 < p2) == (perm1 < perm2)
+
+
+def test_20_jobs_positions_work():
+    n = 20
+    last = tree_leaves(n) - 1
+    assert position_to_permutation(0, n) == list(range(n))
+    assert position_to_permutation(last, n) == list(range(n))[::-1]

@@ -1,0 +1,143 @@
+"""Tests for Johnson's rule and lower-bound admissibility."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bnb.bounds import (JohnsonPairBound, MaxBound, OneMachineBound,
+                              TrivialBound, get_bound)
+from repro.bnb.flowshop import make_instance
+from repro.bnb.johnson import (johnson_order, two_machine_makespan,
+                               two_machine_optimal)
+from repro.sim.errors import SimConfigError
+
+
+def test_johnson_textbook_example():
+    # Classic: jobs (a, b) = (3,2) (5,4) (1,6): Johnson order: 2,1,0
+    a, b = [3, 5, 1], [2, 4, 6]
+    assert johnson_order(a, b) == [2, 1, 0]
+    assert two_machine_optimal(a, b) == 13
+
+
+def test_johnson_is_optimal_exhaustively():
+    rng_cases = [([4, 2, 7, 1], [3, 8, 2, 5]),
+                 ([1, 1, 1], [1, 1, 1]),
+                 ([9, 1], [1, 9])]
+    for a, b in rng_cases:
+        best = min(two_machine_makespan(a, b, order)
+                   for order in itertools.permutations(range(len(a))))
+        assert two_machine_optimal(a, b) == best
+
+
+@settings(max_examples=50)
+@given(st.integers(min_value=2, max_value=5), st.data())
+def test_property_johnson_optimal(n, data):
+    a = [data.draw(st.integers(min_value=1, max_value=20)) for _ in range(n)]
+    b = [data.draw(st.integers(min_value=1, max_value=20)) for _ in range(n)]
+    best = min(two_machine_makespan(a, b, order)
+               for order in itertools.permutations(range(n)))
+    assert two_machine_optimal(a, b) == best
+
+
+def test_johnson_start_times():
+    a, b = [3, 5, 1], [2, 4, 6]
+    assert two_machine_optimal(a, b, start_a=10, start_b=0) == 23
+
+
+def test_johnson_length_mismatch():
+    with pytest.raises(ValueError):
+        johnson_order([1], [1, 2])
+
+
+# --- bound admissibility ------------------------------------------------------
+
+INST = make_instance([[5, 2, 7, 3], [4, 6, 1, 8], [9, 3, 5, 2]], name="t")
+
+
+def best_completion_below(inst, prefix):
+    """True optimal makespan among completions of ``prefix``."""
+    rest = [j for j in range(inst.n_jobs) if j not in prefix]
+    return min(inst.makespan(list(prefix) + list(tail))
+               for tail in itertools.permutations(rest))
+
+
+def eval_child_bound(bound, inst, prefix):
+    """Drive a bound exactly like the engine does, for the last prefix job.
+
+    Mirrors the engine's mask discipline: the published unscheduled mask
+    always equals the set the current call refers to (the frame's remaining
+    at ``frame()`` time, the child's remaining at ``child()`` time).
+    """
+    *head, j = prefix
+    remaining_parent = [x for x in range(inst.n_jobs) if x not in head]
+    front = [0] * inst.n_machines
+    for job in head:
+        front = inst.advance(front, job)
+    if hasattr(bound, "set_mask"):
+        bound.set_mask([x in remaining_parent for x in range(inst.n_jobs)])
+    fd = bound.frame(remaining_parent)
+    nf = inst.advance(front, j)
+    remaining_child = [x for x in remaining_parent if x != j]
+    rem_sum = [sum(inst.p[i][x] for x in remaining_child)
+               for i in range(inst.n_machines)]
+    if hasattr(bound, "set_mask"):
+        bound.set_mask([x in remaining_child for x in range(inst.n_jobs)])
+    return bound.child(nf, j, fd, rem_sum)
+
+
+@pytest.mark.parametrize("bound_name", ["trivial", "lb1", "johnson",
+                                        "johnson:last", "johnson:all", "llrk"])
+def test_bounds_admissible_everywhere(bound_name):
+    bound = get_bound(bound_name).attach(INST)
+    n = INST.n_jobs
+    for depth in (1, 2, 3):
+        for prefix in itertools.permutations(range(n), depth):
+            lb = eval_child_bound(bound, INST, prefix)
+            true = best_completion_below(INST, prefix)
+            assert lb <= true, (bound_name, prefix, lb, true)
+
+
+def test_stronger_bounds_dominate_trivial():
+    triv = get_bound("trivial").attach(INST)
+    lb1 = get_bound("lb1").attach(INST)
+    for prefix in itertools.permutations(range(4), 2):
+        assert (eval_child_bound(lb1, INST, prefix)
+                >= eval_child_bound(triv, INST, prefix))
+
+
+def test_bound_factory():
+    assert isinstance(get_bound("lb1"), OneMachineBound)
+    assert isinstance(get_bound("trivial"), TrivialBound)
+    assert isinstance(get_bound("johnson:last"), JohnsonPairBound)
+    assert isinstance(get_bound("llrk"), MaxBound)
+    with pytest.raises(SimConfigError):
+        get_bound("nope")
+
+
+def test_johnson_pairs_specs():
+    jb = JohnsonPairBound("all").attach(INST)
+    m = INST.n_machines
+    assert len(jb.pairs) == m * (m - 1) // 2
+    jb2 = JohnsonPairBound([(0, 2)]).attach(INST)
+    assert jb2.pairs == [(0, 2)]
+    with pytest.raises(SimConfigError):
+        JohnsonPairBound([(2, 1)]).attach(INST)
+    with pytest.raises(SimConfigError):
+        JohnsonPairBound("bogus").attach(INST)
+    with pytest.raises(SimConfigError):
+        MaxBound([])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.lists(st.integers(min_value=1, max_value=30),
+                         min_size=5, max_size=5),
+                min_size=2, max_size=3),
+       st.data())
+def test_property_lb1_admissible(rows, data):
+    inst = make_instance(rows)
+    bound = OneMachineBound().attach(inst)
+    depth = data.draw(st.integers(min_value=1, max_value=3))
+    prefix = tuple(data.draw(st.permutations(list(range(5))))[:depth])
+    lb = eval_child_bound(bound, inst, prefix)
+    assert lb <= best_completion_below(inst, prefix)

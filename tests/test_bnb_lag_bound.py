@@ -1,0 +1,89 @@
+"""Tests for the lag-aware Johnson machinery and the full LLRK bound."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bnb.bounds import JohnsonLagBound, JohnsonPairBound, get_bound
+from repro.bnb.engine import BnBEngine, solve_bruteforce
+from repro.bnb.flowshop import make_instance
+from repro.bnb.johnson import lag_makespan, lag_optimal, lag_order
+from repro.bnb.taillard import scaled_instance
+from tests.test_bnb_johnson_bounds import (best_completion_below,
+                                           eval_child_bound)
+
+INST = make_instance([[5, 2, 7, 3], [4, 6, 1, 8], [9, 3, 5, 2]], name="t")
+
+
+def test_lag_order_validates():
+    with pytest.raises(ValueError):
+        lag_order([1], [1], [1, 2])
+
+
+def test_zero_lags_reduce_to_johnson():
+    a, b = [3, 5, 1], [2, 4, 6]
+    assert lag_optimal(a, b, [0, 0, 0]) == 13
+
+
+@settings(max_examples=50)
+@given(st.integers(min_value=2, max_value=5), st.data())
+def test_property_mitten_rule_optimal(n, data):
+    """Johnson on (a+l, l+b) is exactly optimal for the lagged problem."""
+    a = [data.draw(st.integers(min_value=1, max_value=15)) for _ in range(n)]
+    b = [data.draw(st.integers(min_value=1, max_value=15)) for _ in range(n)]
+    lag = [data.draw(st.integers(min_value=0, max_value=20))
+           for _ in range(n)]
+    best = min(lag_makespan(a, b, lag, order)
+               for order in itertools.permutations(range(n)))
+    assert lag_optimal(a, b, lag) == best
+
+
+def test_lag_bound_admissible_everywhere():
+    bound = get_bound("johnson-lag:all").attach(INST)
+    n = INST.n_jobs
+    for depth in (1, 2, 3):
+        for prefix in itertools.permutations(range(n), depth):
+            lb = eval_child_bound(bound, INST, prefix)
+            true = best_completion_below(INST, prefix)
+            assert lb <= true, (prefix, lb, true)
+
+
+def test_lag_bound_dominates_zero_lag_on_spread_pairs():
+    """With in-between machines, lags only tighten the relaxation."""
+    inst = scaled_instance(2, n_jobs=6, n_machines=6)
+    lagged = JohnsonLagBound([(0, 5)]).attach(inst)
+    plain = JohnsonPairBound([(0, 5)]).attach(inst)
+    dominated = 0
+    for prefix in itertools.permutations(range(6), 2):
+        l1 = eval_child_bound(lagged, inst, prefix)
+        l0 = eval_child_bound(plain, inst, prefix)
+        assert l1 >= l0
+        dominated += l1 > l0
+    assert dominated > 0  # strictly better somewhere
+
+
+@pytest.mark.parametrize("bound", ["johnson-lag", "llrk-full"])
+def test_lag_bounds_solve_to_optimum(bound):
+    inst = scaled_instance(3, n_jobs=7, n_machines=6)
+    opt, _ = solve_bruteforce(inst)
+    value, perm, nodes = BnBEngine(inst, bound=bound).solve()
+    assert value == opt
+    assert inst.makespan(perm) == opt
+
+
+def test_stronger_bound_prunes_more():
+    inst = scaled_instance(1, n_jobs=8, n_machines=8)
+    _, _, n_plain = BnBEngine(inst, bound="llrk").solve()
+    _, _, n_full = BnBEngine(inst, bound="llrk-full").solve()
+    assert n_full <= n_plain
+
+
+def test_factory_names():
+    assert isinstance(get_bound("johnson-lag:last"), JohnsonLagBound)
+    assert get_bound("llrk-full").name.startswith("max(")
+    from repro.sim.errors import SimConfigError
+    with pytest.raises(SimConfigError):
+        JohnsonLagBound("nope").attach(INST)
+    with pytest.raises(SimConfigError):
+        JohnsonLagBound([(3, 1)]).attach(INST)

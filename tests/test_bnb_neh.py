@@ -1,0 +1,73 @@
+"""Tests for the NEH heuristic."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bnb.engine import solve_bruteforce
+from repro.bnb.flowshop import make_instance
+from repro.bnb.neh import neh, neh_order
+from repro.bnb.taillard import scaled_instance
+
+
+def test_neh_order_by_total_time():
+    inst = make_instance([[5, 1, 3], [5, 1, 3]])
+    assert neh_order(inst) == [0, 2, 1]
+
+
+def test_neh_returns_valid_permutation():
+    inst = scaled_instance(1, n_jobs=10, n_machines=10)
+    value, perm = neh(inst)
+    assert sorted(perm) == list(range(10))
+    assert inst.makespan(perm) == value
+
+
+def test_neh_at_least_optimum():
+    for k in (1, 4, 8):
+        inst = scaled_instance(k, n_jobs=7, n_machines=5)
+        opt, _ = solve_bruteforce(inst)
+        value, _ = neh(inst)
+        assert value >= opt
+
+
+def test_neh_close_to_optimum_on_small_instances():
+    """NEH is famously within a few percent on flow shops."""
+    gaps = []
+    for k in range(1, 11):
+        inst = scaled_instance(k, n_jobs=8, n_machines=6)
+        opt, _ = solve_bruteforce(inst)
+        value, _ = neh(inst)
+        gaps.append(value / opt - 1.0)
+    assert sum(gaps) / len(gaps) < 0.05
+
+
+def test_neh_beats_identity_order_usually():
+    wins = 0
+    for k in range(1, 11):
+        inst = scaled_instance(k, n_jobs=10, n_machines=10)
+        value, _ = neh(inst)
+        if value <= inst.makespan(list(range(10))):
+            wins += 1
+    assert wins >= 8
+
+
+def test_neh_single_job():
+    inst = make_instance([[7], [3]])
+    value, perm = neh(inst)
+    assert perm == [0]
+    assert value == 10
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.lists(st.integers(min_value=1, max_value=40),
+                         min_size=5, max_size=5),
+                min_size=2, max_size=3))
+def test_property_neh_valid_and_admissible(rows):
+    inst = make_instance(rows)
+    value, perm = neh(inst)
+    assert sorted(perm) == list(range(5))
+    assert inst.makespan(perm) == value
+    best = min(inst.makespan(p)
+               for p in itertools.permutations(range(5)))
+    assert value >= best

@@ -1,0 +1,88 @@
+"""Tests for the Taillard generator and instance construction."""
+
+import pytest
+
+from repro.bnb.taillard import (TA_20x20_SEEDS, processing_times,
+                                scaled_instance, taillard_instance, unif)
+from repro.sim.errors import SimConfigError
+
+
+def test_unif_range_and_determinism():
+    seed = 1234567
+    vals = []
+    s = seed
+    for _ in range(1000):
+        v, s = unif(s, 1, 99)
+        vals.append(v)
+    assert all(1 <= v <= 99 for v in vals)
+    # deterministic replay
+    s = seed
+    again = []
+    for _ in range(1000):
+        v, s = unif(s, 1, 99)
+        again.append(v)
+    assert vals == again
+    assert len(set(vals)) > 50  # actually random-looking
+
+
+def test_unif_lehmer_recurrence():
+    # one step computed by hand: seed' = 16807*(seed % 127773) - 2836*(seed//127773)
+    seed = 479340445
+    k = seed // 127773
+    expected = 16807 * (seed % 127773) - 2836 * k
+    if expected < 0:
+        expected += 2147483647
+    _, s2 = unif(seed, 1, 99)
+    assert s2 == expected
+
+
+def test_unif_rejects_bad_seed():
+    with pytest.raises(SimConfigError):
+        unif(0, 1, 99)
+    with pytest.raises(SimConfigError):
+        unif(2147483647, 1, 99)
+
+
+def test_processing_times_shape():
+    p = processing_times(TA_20x20_SEEDS[0], 20, 20)
+    assert len(p) == 20 and all(len(r) == 20 for r in p)
+    assert all(1 <= t <= 99 for row in p for t in row)
+
+
+def test_full_instances():
+    inst = taillard_instance(1)
+    assert inst.name == "Ta21"
+    assert inst.n_jobs == 20 and inst.n_machines == 20
+    assert taillard_instance(10).name == "Ta30"
+    with pytest.raises(SimConfigError):
+        taillard_instance(0)
+    with pytest.raises(SimConfigError):
+        taillard_instance(11)
+
+
+def test_scaled_instance_is_prefix_of_full():
+    full = taillard_instance(3)
+    scaled = scaled_instance(3, n_jobs=10, n_machines=20)
+    assert scaled.n_jobs == 10 and scaled.n_machines == 20
+    for i in range(20):
+        assert scaled.p[i] == full.p[i][:10]
+    assert scaled.name == "Ta23s(10x20)"
+
+
+def test_scaled_instance_validation():
+    with pytest.raises(SimConfigError):
+        scaled_instance(1, n_jobs=21)
+    with pytest.raises(SimConfigError):
+        scaled_instance(1, n_jobs=1)
+    with pytest.raises(SimConfigError):
+        scaled_instance(0)
+
+
+def test_instances_differ():
+    names = set()
+    matrices = set()
+    for k in range(1, 11):
+        inst = scaled_instance(k, n_jobs=8, n_machines=10)
+        names.add(inst.name)
+        matrices.add(inst.p)
+    assert len(names) == 10 and len(matrices) == 10

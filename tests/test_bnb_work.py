@@ -1,0 +1,136 @@
+"""Tests for BnBWork: interval arithmetic, conservation, coverage."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bnb.interval import tree_leaves
+from repro.bnb.work import INTERVAL_BYTES, BnBWork
+from repro.sim.errors import SimConfigError
+
+
+def test_full_tree():
+    w = BnBWork.full_tree(5)
+    assert w.amount() == 120
+    assert not w.is_empty()
+    assert BnBWork.empty(5).is_empty()
+
+
+def test_constructor_validation():
+    with pytest.raises(SimConfigError):
+        BnBWork(0)
+    with pytest.raises(SimConfigError):
+        BnBWork(4, [(5, 3)])
+    with pytest.raises(SimConfigError):
+        BnBWork(4, [(0, 100)])  # beyond 4!
+    with pytest.raises(SimConfigError):
+        BnBWork(4, [(0, 5), (3, 8)])  # overlapping
+
+
+def test_split_takes_from_tail():
+    w = BnBWork(5, [(0, 100)])
+    piece = w.split(0.25)
+    # cut point snapped up to a block boundary (multiples of 4! = 24 here),
+    # so the piece is the tail [96, 100) and nothing is lost
+    assert piece.as_tuples() == [(96, 100)]
+    assert w.as_tuples() == [(0, 96)]
+    assert piece.amount() + w.amount() == 100
+    assert piece.amount() <= 25  # never more than requested
+
+
+def test_split_spans_multiple_intervals():
+    w = BnBWork(5, [(0, 10), (50, 60), (100, 110)])
+    piece = w.split(0.5)  # ~15 positions from the tail
+    # the whole tail interval is taken as-is; the partial cut of the middle
+    # interval snaps to a 2-aligned boundary
+    assert piece.as_tuples() == [(56, 60), (100, 110)]
+    assert piece.amount() == 14
+    assert w.as_tuples() == [(0, 10), (50, 56)]
+    assert piece.amount() + w.amount() == 30
+
+
+def test_split_keeps_at_least_one_position():
+    w = BnBWork(5, [(0, 10)])
+    piece = w.split(1.0)
+    assert w.amount() >= 1
+    assert piece is not None
+    assert piece.amount() + w.amount() == 10
+
+
+def test_split_alignment_boundaries():
+    """Partial cuts land on subtree-block boundaries (width <= give)."""
+    from repro.bnb.interval import factorials
+    w = BnBWork(8, [(0, tree_leaves(8))])
+    piece = w.split(0.3)
+    cut = piece.as_tuples()[0][0]
+    give_requested = int(tree_leaves(8) * 0.3)
+    width = max(f for f in factorials(8) if f <= give_requested)
+    assert cut % width == 0
+
+
+def test_split_indivisible():
+    w = BnBWork(5, [(7, 8)])
+    assert w.split(0.9) is None
+    assert w.split(0.0) is None
+
+
+def test_merge():
+    w = BnBWork(5, [(0, 10)])
+    other = BnBWork(5, [(20, 30)])
+    w.merge(other)
+    assert w.amount() == 20
+    assert other.is_empty()
+    with pytest.raises(SimConfigError):
+        w.merge(BnBWork(4, [(0, 2)]))
+
+
+def test_head_pop():
+    w = BnBWork(5, [(0, 10), (20, 30)])
+    assert w.head() == [0, 10]
+    w.pop_head()
+    assert w.head() == [20, 30]
+    w.pop_head()
+    assert w.head() is None
+
+
+def test_encoded_bytes():
+    w = BnBWork(5, [(0, 10), (20, 30)])
+    assert w.encoded_bytes() == 2 * INTERVAL_BYTES
+
+
+def test_huge_amounts_are_exact():
+    w = BnBWork.full_tree(20)
+    assert w.amount() == tree_leaves(20)
+    piece = w.split(0.5)
+    assert piece.amount() + w.amount() == tree_leaves(20)
+
+
+@settings(max_examples=60)
+@given(st.lists(st.floats(min_value=0.01, max_value=0.99),
+                min_size=1, max_size=8))
+def test_property_split_chain_conserves_and_stays_disjoint(fractions):
+    w = BnBWork.full_tree(8)
+    total = w.amount()
+    pieces = [w]
+    for f in fractions:
+        donor = max(pieces, key=lambda x: x.amount())
+        p = donor.split(f)
+        if p is not None:
+            pieces.append(p)
+    assert sum(p.amount() for p in pieces) == total
+    # disjoint coverage check
+    ivs = sorted(iv for p in pieces for iv in p.as_tuples())
+    pos = 0
+    for a, b in ivs:
+        assert a >= pos and b > a
+        pos = b
+    assert pos == total  # nothing lost
+
+
+@given(st.floats(min_value=0.0, max_value=1.0))
+def test_property_split_fraction_rounding(f):
+    w = BnBWork(6, [(0, 720)])
+    before = w.amount()
+    piece = w.split(f)
+    given = 0 if piece is None else piece.amount()
+    assert given + w.amount() == before
+    assert given <= int(before * f) or given == 0

@@ -1,0 +1,187 @@
+"""Unit tests for the four-counter termination waves."""
+
+import pytest
+
+from repro.core.termination import WAVE_R, TerminationWaves
+from repro.sim import Message, SimProcess, Simulator, uniform_network
+
+
+class Node(SimProcess):
+    """A host with controllable counters for the wave service."""
+
+    def __init__(self, pid, n):
+        super().__init__(pid)
+        self.sent = 0
+        self.recv = 0
+        self.active = False
+        self.done = False
+        self.on_start = None  # optional extra start hook (root only)
+        parent = (pid - 1) // 2 if pid > 0 else -1
+        children = [c for c in (2 * pid + 1, 2 * pid + 2) if c < n]
+        self.waves = TerminationWaves(
+            host=self, parent=parent, children=children,
+            get_counters=lambda: (self.sent, self.recv, self.active),
+            on_terminate=self._finish, retry_delay=1e-3)
+
+    def start(self):
+        if self.on_start is not None:
+            self.on_start()
+
+    def _finish(self):
+        self.done = True
+        self.stats.finish_time = self.now
+
+    def on_message(self, msg: Message):
+        self.waves.handle(msg)
+
+    def finished(self):
+        return self.done
+
+
+def build(n, seed=1):
+    sim = Simulator(uniform_network(latency=1e-4), seed=seed)
+    nodes = [sim.add_process(Node(p, n)) for p in range(n)]
+    return sim, nodes
+
+
+def test_quiescent_system_terminates():
+    sim, nodes = build(7)
+    nodes[0].on_start = nodes[0].waves.root_try
+    sim.run()
+    assert all(nd.done for nd in nodes)
+    # exactly two clean identical waves suffice
+    assert nodes[0].waves.waves_run == 2
+
+
+def test_single_node_terminates():
+    sim, nodes = build(1)
+    nodes[0].on_start = nodes[0].waves.root_try
+    sim.run()
+    assert nodes[0].done
+
+
+def test_active_node_blocks_termination():
+    sim, nodes = build(7)
+    root = nodes[0]
+    nodes[5].active = True
+
+    def deactivate():
+        nodes[5].active = False
+        root.call_after(1e-3, root.waves.root_try)
+
+    def boot():
+        root.waves.root_try()
+        root.call_after(0.02, deactivate)
+
+    root.on_start = boot
+    stats = sim.run()
+    assert all(nd.done for nd in nodes)
+    assert stats.makespan > 0.02  # not before the deactivation
+    assert root.waves.waves_run > 2  # some waves failed first
+
+
+def test_unbalanced_counters_block_termination():
+    """S != R looks like an in-flight work message: must not terminate."""
+    sim, nodes = build(3)
+    root = nodes[0]
+    nodes[2].sent = 5
+    nodes[1].recv = 4  # one transfer still in flight
+
+    def settle():
+        nodes[1].recv = 5
+        root.call_after(1e-3, root.waves.root_try)
+
+    def boot():
+        root.waves.root_try()
+        root.call_after(0.05, settle)
+
+    root.on_start = boot
+    stats = sim.run()
+    assert all(nd.done for nd in nodes)
+    assert stats.makespan > 0.05
+
+
+def test_equal_but_changing_counters_need_more_waves():
+    """Mattern's rule: one clean wave is not sufficient on its own."""
+    sim, nodes = build(3)
+    root = nodes[0]
+
+    def bump():
+        # a transfer completes between waves: both counters move together
+        nodes[1].sent += 1
+        nodes[2].recv += 1
+
+    def boot():
+        root.waves.root_try()
+        root.call_after(0.8e-3, bump)  # lands between waves 1 and 2
+
+    root.on_start = boot
+    sim.run()
+    assert all(nd.done for nd in nodes)
+    # waves 1 and 2 were clean but not identical -> needed more
+    assert root.waves.waves_run >= 3
+
+
+def test_declare_bypasses_waves():
+    sim, nodes = build(7)
+    nodes[0].on_start = nodes[0].waves.declare
+    sim.run()
+    assert all(nd.done for nd in nodes)
+    assert nodes[0].waves.waves_run == 0
+
+
+def test_should_wave_gate():
+    gate = {"open": False}
+    sim, nodes = build(3)
+    root = nodes[0]
+    root.waves.should_wave = lambda: gate["open"]
+
+    def open_gate():
+        gate["open"] = True
+        root.waves.root_try()
+
+    def boot():
+        root.waves.root_try()  # gated: no-op
+        root.call_after(0.01, open_gate)
+
+    root.on_start = boot
+    stats = sim.run()
+    assert all(nd.done for nd in nodes)
+    assert stats.makespan > 0.01
+
+
+def test_stale_wave_replies_ignored():
+    sim, nodes = build(3)
+    root = nodes[0]
+
+    def boot():
+        # a bogus reply for a wave that never ran must be discarded
+        nodes[1].send(0, WAVE_R, (99, 0, 0, False))
+        root.call_after(0.01, root.waves.root_try)
+
+    # node 1 cannot send before the sim starts; do it from the root's start
+    def boot_root():
+        root.send(0, WAVE_R, (99, 7, 3, True))
+        root.call_after(0.01, root.waves.root_try)
+
+    root.on_start = boot_root
+    sim.run()
+    assert all(nd.done for nd in nodes)
+
+
+def test_backoff_grows_on_failed_waves():
+    sim, nodes = build(3)
+    nodes[1].active = True  # forever: never terminates
+    nodes[0].on_start = nodes[0].waves.root_try
+    sim.run(max_time=0.5)
+    w = nodes[0].waves
+    assert w._backoff > 1.0
+    assert not w.terminated
+    assert w.waves_run > 2
+
+
+def test_message_kinds_routed():
+    _, nodes = build(3)
+    w = nodes[0].waves
+    assert w.handles("WAVE") and w.handles("WAVE_R") and w.handles("TERM")
+    assert not w.handles("WORK")

@@ -1,0 +1,159 @@
+"""Unit tests of the protocol-agnostic worker framework."""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticApplication, SyntheticWork
+from repro.core.worker import BOUND, WORK, WorkerConfig, WorkerProcess
+from repro.sim import Simulator, uniform_network
+from repro.sim.errors import SimRuntimeError
+
+
+class LoneWorker(WorkerProcess):
+    """Processes its initial work and stops; no balancing."""
+
+    def on_idle(self):
+        if not self.terminated:
+            self.finish()
+
+
+def run_sim(*procs, **net_kw):
+    net_kw.setdefault("latency", 1e-4)
+    sim = Simulator(uniform_network(**net_kw), seed=1)
+    for p in procs:
+        sim.add_process(p)
+    return sim, sim.run()
+
+
+def test_quantum_loop_processes_everything():
+    app = SyntheticApplication(1000, unit_cost=1e-5)
+    w = LoneWorker(0, app, WorkerConfig(quantum=64))
+    w.work = app.initial_work()
+    _, stats = run_sim(w)
+    assert stats.per_process[0].work_units == 1000
+    assert w.terminated
+    # virtual busy time is exact: units x unit_cost
+    assert stats.per_process[0].busy_time == pytest.approx(1000 * 1e-5)
+
+
+def test_quantum_respects_configured_size():
+    app = SyntheticApplication(100, unit_cost=1e-5)
+    seen = []
+
+    class Spy(LoneWorker):
+        def on_quantum_done(self, units):
+            seen.append(units)
+
+    w = Spy(0, app, WorkerConfig(quantum=30))
+    w.work = app.initial_work()
+    run_sim(w)
+    assert seen == [30, 30, 30, 10]
+
+
+def test_makespan_counts_termination_not_just_work():
+    app = SyntheticApplication(10, unit_cost=1e-5)
+    w = LoneWorker(0, app, WorkerConfig(quantum=100))
+    w.work = app.initial_work()
+    _, stats = run_sim(w)
+    assert stats.makespan >= stats.work_done_time > 0
+
+
+def test_work_after_termination_is_loud():
+    class Sender(WorkerProcess):
+        def start(self):
+            super().start()
+            self.finish()
+            self.call_after(0.01, lambda: self.send_work(
+                1, SyntheticWork(5), channel="x"))
+
+    app = SyntheticApplication(10)
+    s = Sender(0, app, WorkerConfig())
+    t = LoneWorker(1, app, WorkerConfig())
+    t.terminated = True  # already finished
+    sim = Simulator(uniform_network(latency=1e-4), seed=1)
+    sim.add_process(s)
+    sim.add_process(t)
+    with pytest.raises(SimRuntimeError):
+        sim.run()
+
+
+def test_work_message_updates_stats_and_merges():
+    app = SyntheticApplication(50)
+
+    class Giver(LoneWorker):
+        def start(self):
+            super().start()
+            piece = self.work.split(0.5)
+            self.send_work(1, piece, channel="gift")
+
+    class Taker(LoneWorker):
+        def on_idle(self):
+            # only stop once the gift arrived and was processed
+            if self.stats.work_units > 0:
+                self.finish()
+
+    g = Giver(0, app, WorkerConfig())
+    g.work = app.initial_work()
+    t = Taker(1, app, WorkerConfig())
+    _, stats = run_sim(g, t)
+    assert stats.per_process[0].work_msgs_sent == 1
+    assert stats.per_process[1].work_msgs_received == 1
+    assert stats.per_process[1].steals_successful == 1
+    assert stats.total_work_units == 50
+
+
+def test_bound_gossip_monotone_no_loops():
+    """A BOUND value floods once; stale values die immediately."""
+    from repro.apps.bnb_app import BnBApplication
+    from repro.bnb.taillard import scaled_instance
+
+    app = BnBApplication(scaled_instance(1, n_jobs=5, n_machines=3))
+
+    class Ring(WorkerProcess):
+        def __init__(self, pid, n):
+            super().__init__(pid, app, WorkerConfig())
+            self.n = n
+
+        def gossip_targets(self):
+            return [(self.pid + 1) % self.n, (self.pid - 1) % self.n]
+
+        def start(self):
+            super().start()
+            if self.pid == 0:
+                self.shared.update(500, (0, 1, 2, 3, 4))
+                self._gossip(exclude=-1)
+
+        def finished(self):
+            return True  # passive listeners; the run ends at quiescence
+
+    n = 6
+    sim = Simulator(uniform_network(latency=1e-4), seed=1)
+    workers = [sim.add_process(Ring(p, n)) for p in range(n)]
+    stats = sim.run()
+    assert all(w.shared.value == 500 for w in workers)
+    bound_msgs = sum(p.msgs_sent for p in stats.per_process)
+    # flooding a ring: bounded traffic, not an infinite loop
+    assert bound_msgs <= 4 * n
+
+
+def test_gossip_disabled():
+    from repro.apps.bnb_app import BnBApplication
+    from repro.bnb.taillard import scaled_instance
+    app = BnBApplication(scaled_instance(1, n_jobs=5, n_machines=3))
+
+    class W(WorkerProcess):
+        def gossip_targets(self):
+            return [1]
+
+        def start(self):
+            super().start()
+            if self.pid == 0:
+                self.shared.update(500, (0, 1, 2, 3, 4))
+                if self.cfg.gossip_bounds:
+                    self._gossip(exclude=-1)
+            self.finish()
+
+    sim = Simulator(uniform_network(latency=1e-4), seed=1)
+    ws = [sim.add_process(W(p, app, WorkerConfig(gossip_bounds=False)))
+          for p in range(2)]
+    sim.run()
+    assert ws[1].shared.value > 500  # never heard about it

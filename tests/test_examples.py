@@ -1,0 +1,51 @@
+"""The example scripts are part of the public API surface: they must run."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "nodes counted" in out
+    assert "speedup" in out
+
+
+def test_overlay_explorer():
+    out = run_example("overlay_explorer.py")
+    assert "overlay structure" in out
+    assert "BTD dmax=10" in out
+
+
+def test_flowshop_bnb():
+    out = run_example("flowshop_bnb.py")
+    assert "NEH heuristic" in out
+    assert "AHMW" in out
+
+
+def test_custom_application():
+    out = run_example("custom_application.py")
+    assert "identical to sequential" in out
+
+
+def test_utilization_timeline():
+    out = run_example("utilization_timeline.py")
+    assert "BTD" in out and "RWS" in out
+    assert "busy" in out
+
+
+def test_tsp_bnb():
+    out = run_example("tsp_bnb.py")
+    assert "exact optimum confirmed" in out

@@ -1,0 +1,56 @@
+"""Tests for the head-to-head comparison tool."""
+
+import pytest
+
+from repro.experiments.compare import compare, main, parse_app
+from repro.sim.errors import SimConfigError
+
+
+def test_parse_app_uts():
+    factory = parse_app("uts:bin_mini")
+    app = factory()
+    assert "UTS" in app.name
+
+
+def test_parse_app_bnb():
+    factory = parse_app("bnb:2:7:5")
+    app = factory()
+    assert app.instance.n_jobs == 7
+    assert app.instance.n_machines == 5
+    assert app.warm_start is True
+
+
+def test_parse_app_defaults_and_errors():
+    assert parse_app("uts:")().params is not None
+    with pytest.raises(SimConfigError):
+        parse_app("bnb:")
+    with pytest.raises(SimConfigError):
+        parse_app("sat:42")
+    with pytest.raises(SimConfigError):
+        parse_app("uts:nonexistent")
+
+
+def test_compare_grid():
+    factory = parse_app("uts:bin_mini")
+    rows = compare(["TD", "RWS"], factory, ns=[4, 8], quantum=32,
+                   trials=1, seed=3, dmax=3)
+    assert len(rows) == 4
+    assert {r[1] for r in rows} == {"TD", "RWS"}
+    assert all(r[2] > 0 for r in rows)  # times
+    assert all(0 < r[4] <= 110 for r in rows)  # efficiency %
+
+
+def test_compare_bnb_reports_optimum():
+    factory = parse_app("bnb:5:6:5")
+    rows = compare(["BTD", "MW"], factory, ns=[6], quantum=16, trials=1,
+                   seed=3)
+    from repro.bnb.engine import solve_bruteforce
+    opt, _ = solve_bruteforce(factory().instance)
+    assert all(r[7] == opt for r in rows)
+
+
+def test_cli_main(capsys):
+    assert main(["--protocols", "TD", "--app", "uts:bin_mini",
+                 "--n", "4", "--quantum", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "TD" in out and "PE %" in out

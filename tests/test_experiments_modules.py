@@ -1,0 +1,31 @@
+"""Every table/figure module runs end-to-end at the micro scale.
+
+These are structural tests (the report machinery, data plumbing, shape-check
+code paths); the *reproduction* assertions live in ``benchmarks/`` at the
+quick scale and in EXPERIMENTS.md at the default scale.
+"""
+
+import pytest
+
+from repro.experiments.config import get_scale
+from repro.experiments.registry import EXPERIMENTS, ORDER
+
+MICRO = get_scale("micro")
+
+
+@pytest.mark.parametrize("exp_id", ORDER)
+def test_experiment_runs_at_micro_scale(exp_id):
+    report = EXPERIMENTS[exp_id](MICRO)
+    assert report.exp_id == exp_id
+    assert report.sections, "report has no content"
+    assert report.wall_seconds > 0
+    text = report.render()
+    assert report.title in text
+    assert "paper expectation" in text
+    summary = report.summary()
+    assert summary["experiment"] == exp_id
+
+
+def test_micro_scale_is_fast_enough_for_ci():
+    assert MICRO.trials == 1
+    assert max(MICRO.fig45_n) <= 16

@@ -1,0 +1,55 @@
+"""Golden regression values for canonical runs.
+
+The simulator is bit-deterministic, so these exact numbers must hold on any
+machine. A failure here means the *protocol or cost model changed* — which
+may be intentional, but must be a conscious decision: re-measure and update
+the constants together with EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.apps.bnb_app import BnBApplication
+from repro.apps.uts_app import UTSApplication
+from repro.bnb.taillard import scaled_instance
+from repro.experiments.runner import RunConfig, run_once
+from repro.uts.params import PRESETS
+
+GOLDEN_UTS = {
+    # protocol -> (makespan, total_msgs, total_steals)
+    "TD": (0.009430575999999984, 726, 294),
+    "BTD": (0.008520427999999953, 1701, 703),
+    "RWS": (0.008338983999999987, 1587, 627),
+    "LIFELINE": (0.008115297999999981, 1188, 472),
+}
+
+GOLDEN_BNB = {
+    # protocol -> (makespan, total_units, optimum)
+    "BTD": (0.02773038399999998, 443, 712),
+    "MW": (0.015330567999999989, 760, 712),
+    "AHMW": (0.047580488000000046, 242, 712),
+}
+
+
+@pytest.mark.parametrize("proto", sorted(GOLDEN_UTS))
+def test_golden_uts(proto):
+    preset = PRESETS["bin_tiny"]
+    r = run_once(RunConfig(protocol=proto, n=24, dmax=4, quantum=64,
+                           seed=123),
+                 UTSApplication(preset.params))
+    makespan, msgs, steals = GOLDEN_UTS[proto]
+    assert r.total_units == preset.nodes
+    assert r.makespan == pytest.approx(makespan, abs=1e-12)
+    assert r.total_msgs == msgs
+    assert r.total_steals == steals
+
+
+@pytest.mark.parametrize("proto", sorted(GOLDEN_BNB))
+def test_golden_bnb(proto):
+    inst = scaled_instance(2, n_jobs=8, n_machines=8)
+    r = run_once(RunConfig(protocol=proto, n=12, quantum=16, seed=123,
+                           dmax=3),
+                 BnBApplication(inst, warm_start=True))
+    makespan, units, optimum = GOLDEN_BNB[proto]
+    assert r.optimum == optimum
+    assert r.total_units == units
+    assert r.makespan == pytest.approx(makespan, abs=1e-12)

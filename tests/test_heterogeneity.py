@@ -1,0 +1,94 @@
+"""Tests for the heterogeneity extension (the paper's stated future work)."""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticApplication
+from repro.apps.uts_app import UTSApplication
+from repro.core.config import OCLBConfig
+from repro.core.oclb import OverlayWorker
+from repro.core.worker import WorkerConfig
+from repro.experiments.runner import RunConfig, run_once
+from repro.overlay.tree import deterministic_tree
+from repro.sim import Simulator, uniform_network
+from repro.sim.errors import SimConfigError
+from repro.uts.params import PRESETS
+from repro.uts.sequential import count_tree
+
+TINY = PRESETS["bin_tiny"].params
+
+
+def test_capacity_aware_requires_convergecast():
+    tree = deterministic_tree(4, 2)
+    app = SyntheticApplication(100)
+    with pytest.raises(SimConfigError):
+        OverlayWorker(0, app, WorkerConfig(), tree,
+                      OCLBConfig(capacity_aware=True, convergecast=False))
+
+
+def test_capacity_sizes_aggregate_speeds():
+    tree = deterministic_tree(7, 2)
+    app = SyntheticApplication(5000, unit_cost=1e-5)
+    sim = Simulator(uniform_network(latency=1e-4), seed=2)
+    speeds = [1.0, 2.0, 0.5, 1.0, 1.0, 3.0, 1.0]
+    ws = [sim.add_process(OverlayWorker(
+        p, app, WorkerConfig(quantum=16, seed=2, speed=speeds[p]), tree,
+        OCLBConfig(capacity_aware=True))) for p in range(7)]
+    sim.run()
+    # node 1's subtree = {1, 3, 4}: capacity 2 + 1 + 1
+    assert ws[1].sizes.my_size == pytest.approx(4.0)
+    # root's "size" = total capacity
+    assert ws[0].sizes.my_size == pytest.approx(sum(speeds))
+    # the parent learned its children's capacities
+    assert ws[0].child_sizes[1] == pytest.approx(4.0)
+
+
+def test_capacity_aware_conserves_work():
+    for placement in ("random", "fast-interior"):
+        r = run_once(RunConfig(protocol="BTD", n=24, dmax=4, quantum=64,
+                               seed=6, speed_spread=0.7,
+                               speed_placement=placement,
+                               oclb=OCLBConfig(capacity_aware=True)),
+                     UTSApplication(TINY))
+        assert r.total_units == count_tree(TINY).nodes
+
+
+def test_fast_interior_sorts_speeds():
+    from repro.experiments.runner import _speeds
+    cfg = RunConfig(protocol="TD", n=16, speed_spread=0.5,
+                    speed_placement="fast-interior", seed=3)
+    speeds = _speeds(cfg)
+    assert speeds == sorted(speeds, reverse=True)
+    cfg2 = RunConfig(protocol="TD", n=16, speed_spread=0.5, seed=3)
+    assert _speeds(cfg2) != speeds
+
+
+def test_placement_validation():
+    with pytest.raises(SimConfigError):
+        RunConfig(protocol="TD", n=4, speed_placement="bogus")
+
+
+def test_capacity_aware_helps_under_heterogeneity():
+    """Capacity-proportional shares beat count-proportional ones when
+    speeds are very uneven (the point of the extension)."""
+    total = 60_000
+    times = {}
+    for aware in (False, True):
+        r = run_once(RunConfig(protocol="TD", n=16, dmax=4, quantum=64,
+                               seed=11, speed_spread=0.9,
+                               oclb=OCLBConfig(capacity_aware=aware)),
+                     SyntheticApplication(total, unit_cost=1e-5))
+        assert r.total_units == total
+        times[aware] = r.makespan
+    assert times[True] <= times[False] * 1.1  # at least not worse
+
+
+def test_homogeneous_capacity_mode_equals_plain():
+    """With equal speeds, capacity mode degenerates to subtree counts."""
+    a = run_once(RunConfig(protocol="TD", n=12, dmax=3, quantum=32, seed=4,
+                           oclb=OCLBConfig(capacity_aware=True)),
+                 UTSApplication(TINY))
+    b = run_once(RunConfig(protocol="TD", n=12, dmax=3, quantum=32, seed=4,
+                           oclb=OCLBConfig(capacity_aware=False)),
+                 UTSApplication(TINY))
+    assert a.total_units == b.total_units
+    assert a.makespan == pytest.approx(b.makespan)

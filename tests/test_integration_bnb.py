@@ -1,0 +1,116 @@
+"""End-to-end B&B correctness: every protocol finds the exact optimum."""
+
+import pytest
+
+from repro.apps import BnBApplication
+from repro.bnb import BnBEngine, scaled_instance, solve_bruteforce
+from repro.experiments.runner import RunConfig, run_once
+
+INST = scaled_instance(2, n_jobs=8, n_machines=8)
+OPT, _ = solve_bruteforce(INST)
+
+
+def run(proto, n, **kw):
+    cfg = RunConfig(protocol=proto, n=n, seed=kw.pop("seed", 5),
+                    quantum=kw.pop("quantum", 32), **kw)
+    return run_once(cfg, BnBApplication(INST))
+
+
+@pytest.mark.parametrize("proto", ["TD", "TR", "BTD", "RWS", "MW", "AHMW"])
+@pytest.mark.parametrize("n", [2, 13, 32])
+def test_optimum_all_protocols(proto, n):
+    r = run(proto, n, dmax=3)
+    assert r.optimum == OPT
+    assert r.optimum_perm is not None
+    assert INST.makespan(r.optimum_perm) == OPT
+
+
+@pytest.mark.parametrize("proto", ["TD", "BTD", "RWS", "MW", "AHMW"])
+def test_optimum_under_jitter(proto):
+    for seed in (1, 2):
+        r = run(proto, 16, dmax=3, jitter=2.5, seed=seed)
+        assert r.optimum == OPT
+
+
+def test_single_worker_protocols():
+    r = run("TD", 1, dmax=2)
+    assert r.optimum == OPT
+    # single worker == sequential search: node counts match
+    _, _, seq_nodes = BnBEngine(INST, bound="lb1").solve()
+    assert r.total_units == seq_nodes
+
+
+@pytest.mark.parametrize("bound", ["trivial", "lb1", "llrk"])
+def test_any_bound_parallel(bound):
+    r = run_once(RunConfig(protocol="BTD", n=8, dmax=3, seed=1, quantum=32),
+                 BnBApplication(INST, bound=bound))
+    assert r.optimum == OPT
+
+
+def test_bound_gossip_reduces_exploration():
+    """Diffusion of upper bounds prunes work on other nodes."""
+    from repro.core.worker import WorkerConfig
+    from repro.experiments.runner import build_workers
+    from repro.sim import Simulator, grid5000
+
+    def total_units(gossip: bool) -> int:
+        cfg = RunConfig(protocol="TD", n=16, dmax=3, seed=7, quantum=32)
+        sim = Simulator(grid5000(), seed=7)
+        app = BnBApplication(INST)
+        wc_patch = WorkerConfig(quantum=32, seed=7, gossip_bounds=gossip)
+        workers = build_workers(sim, cfg, app)
+        for w in workers:
+            w.cfg = wc_patch
+        stats = sim.run()
+        return stats.total_work_units
+
+    assert total_units(True) < total_units(False)
+
+
+def test_mw_redundancy_tracked_and_bounded():
+    r = run("MW", 16, seed=3)
+    from repro.bnb import tree_leaves
+    assert 0 <= r.redundancy < tree_leaves(INST.n_jobs)
+
+
+def test_mw_master_does_no_app_work():
+    from repro.experiments.runner import build_workers
+    from repro.sim import Simulator, grid5000
+    cfg = RunConfig(protocol="MW", n=12, seed=2, quantum=32)
+    sim = Simulator(grid5000(), seed=2)
+    build_workers(sim, cfg, BnBApplication(INST))
+    stats = sim.run()
+    assert stats.per_process[0].work_units == 0
+    assert sum(p.work_units for p in stats.per_process) > 0
+
+
+def test_ahmw_masters_decompose_workers_explore():
+    from repro.experiments.runner import build_workers
+    from repro.sim import Simulator, grid5000
+    cfg = RunConfig(protocol="AHMW", n=23, seed=2, quantum=32)
+    sim = Simulator(grid5000(), seed=2)
+    workers = build_workers(sim, cfg, BnBApplication(INST))
+    stats = sim.run()
+    masters = [w.pid for w in workers if w.is_master]
+    leaves = [w.pid for w in workers if not w.is_master]
+    assert masters and leaves
+    # both roles contribute nodes (masters: decomposition bounds)
+    assert sum(stats.per_process[p].work_units for p in masters) > 0
+    assert sum(stats.per_process[p].work_units for p in leaves) > 0
+    # the optimum still comes out right
+    best = min(w.shared.value for w in workers)
+    assert best == OPT
+
+
+def test_protocols_explore_different_amounts():
+    """Speedup anomalies: exploration depends on the work-sharing order."""
+    counts = {p: run(p, 16, dmax=3).total_units
+              for p in ("TD", "RWS", "MW")}
+    assert len(set(counts.values())) > 1
+
+
+def test_determinism_bnb():
+    a = run("MW", 16, seed=4)
+    b = run("MW", 16, seed=4)
+    assert (a.makespan, a.total_msgs, a.total_units) == \
+        (b.makespan, b.total_msgs, b.total_units)

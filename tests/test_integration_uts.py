@@ -1,0 +1,119 @@
+"""End-to-end UTS correctness: every protocol counts the exact tree size.
+
+This is the master invariant of the whole system: work conservation across
+splits, merges, transfers, queueing and termination detection means the sum
+of processed units over all workers equals the sequential count.
+"""
+
+import pytest
+
+from repro.apps import UTSApplication
+from repro.experiments.runner import RunConfig, run_once
+from repro.uts import get_preset
+
+PRESET = get_preset("bin_tiny")  # 22,241 nodes
+
+
+def run(proto, n, **kw):
+    cfg = RunConfig(protocol=proto, n=n, seed=kw.pop("seed", 5), **kw)
+    return run_once(cfg, UTSApplication(PRESET.params))
+
+
+@pytest.mark.parametrize("proto", ["TD", "TR", "BTD", "RWS"])
+@pytest.mark.parametrize("n", [1, 2, 7, 32])
+def test_exact_count_all_protocols_and_sizes(proto, n):
+    if n == 1 and proto == "TR":
+        pytest.skip("TR(1) == TD(1)")
+    r = run(proto, n, dmax=3)
+    assert r.total_units == PRESET.nodes
+
+
+@pytest.mark.parametrize("dmax", [1, 2, 5, 31])
+def test_td_any_degree(dmax):
+    r = run("TD", 32, dmax=dmax)
+    assert r.total_units == PRESET.nodes
+
+
+@pytest.mark.parametrize("quantum", [1, 8, 512])
+def test_any_quantum(quantum):
+    r = run("BTD", 16, quantum=quantum, dmax=4)
+    assert r.total_units == PRESET.nodes
+
+
+@pytest.mark.parametrize("sharing", ["proportional", "half", "steal-2"])
+def test_any_sharing_policy(sharing):
+    r = run("TD", 16, sharing=sharing, dmax=4)
+    assert r.total_units == PRESET.nodes
+
+
+@pytest.mark.parametrize("proto", ["TD", "BTD", "RWS"])
+def test_with_network_jitter(proto):
+    """Random message reordering must not lose or duplicate work."""
+    for seed in (1, 2, 3):
+        r = run(proto, 24, dmax=4, jitter=3.0, seed=seed)
+        assert r.total_units == PRESET.nodes
+
+
+def test_determinism():
+    a = run("BTD", 16, dmax=4, seed=9)
+    b = run("BTD", 16, dmax=4, seed=9)
+    assert a.makespan == b.makespan
+    assert a.total_msgs == b.total_msgs
+    assert a.msgs_by_pid == b.msgs_by_pid
+
+
+def test_seeds_change_outcomes():
+    a = run("BTD", 16, dmax=4, seed=1)
+    b = run("BTD", 16, dmax=4, seed=2)
+    assert (a.makespan, a.total_msgs) != (b.makespan, b.total_msgs)
+
+
+def test_everyone_terminates_and_learns_it():
+    from repro.apps.uts_app import UTSApplication as A
+    from repro.sim import Simulator, grid5000
+    from repro.experiments.runner import build_workers
+    cfg = RunConfig(protocol="BTD", n=20, dmax=4, seed=3)
+    sim = Simulator(grid5000(), seed=3)
+    workers = build_workers(sim, cfg, A(PRESET.params))
+    stats = sim.run()
+    assert all(w.terminated for w in workers)
+    assert all(p.finish_time > 0 for p in stats.per_process)
+    # makespan is the time the last worker learnt about termination
+    assert stats.makespan == max(p.finish_time for p in stats.per_process)
+    assert stats.makespan >= stats.work_done_time
+
+
+def test_convergecast_vs_instant_sizes_same_counts():
+    from repro.core.config import OCLBConfig
+    r1 = run("TD", 16, dmax=4, oclb=OCLBConfig(convergecast=True))
+    r2 = run("TD", 16, dmax=4, oclb=OCLBConfig(convergecast=False))
+    assert r1.total_units == r2.total_units == PRESET.nodes
+    # both modes finish; the distributed bootstrap costs extra messages
+    # (2*(n-1) SIZE messages) but timing shifts can change totals either
+    # way, so only sanity-check both completed with plausible traffic
+    assert r1.total_msgs > 0 and r2.total_msgs > 0
+
+
+def test_more_workers_not_slower_much():
+    """Scaling up should reduce (or at least not explode) the makespan."""
+    t4 = run("BTD", 4, dmax=4).makespan
+    t32 = run("BTD", 32, dmax=4).makespan
+    assert t32 < t4
+
+
+def test_parallel_efficiency_reasonable():
+    r = run("BTD", 8, dmax=4)
+    app = UTSApplication(PRESET.params)
+    t_seq = PRESET.nodes * app.unit_cost
+    eff = r.efficiency(t_seq)
+    assert 0.5 < eff <= 1.01
+
+
+def test_geo_variant_end_to_end():
+    from repro.uts import UTSParams, count_tree
+    params = UTSParams(variant="geo", b0=3, alpha=0.7, depth_max=9,
+                       root_seed=4)
+    expected = count_tree(params).nodes
+    r = run_once(RunConfig(protocol="BTD", n=8, dmax=3, seed=1),
+                 UTSApplication(params))
+    assert r.total_units == expected

@@ -1,0 +1,62 @@
+"""The distributed subtree-size protocol must agree with the analytic sizes."""
+
+import pytest
+
+from repro.overlay.convergecast import ConvergecastProcess
+from repro.overlay.tree import (chain_tree, deterministic_tree, random_tree,
+                                star_tree)
+from repro.sim import Simulator, uniform_network
+
+
+def run_convergecast(tree, seed=0):
+    sim = Simulator(uniform_network(latency=1e-4, handler_cost=1e-5),
+                    seed=seed)
+    procs = [sim.add_process(ConvergecastProcess(v, tree))
+             for v in range(tree.n)]
+    stats = sim.run()
+    return procs, stats
+
+
+@pytest.mark.parametrize("tree", [
+    deterministic_tree(1, 2),
+    deterministic_tree(2, 2),
+    deterministic_tree(50, 2),
+    deterministic_tree(100, 10),
+    random_tree(64, seed=3),
+    chain_tree(20),
+    star_tree(30),
+], ids=["n1", "n2", "td2", "td10", "tr", "chain", "star"])
+def test_sizes_match_analytic(tree):
+    procs, _ = run_convergecast(tree)
+    for v, p in enumerate(procs):
+        assert p.service.ready
+        assert p.service.my_size == tree.subtree_size[v]
+        if v == 0:
+            assert p.service.parent_size is None
+        else:
+            assert p.service.parent_size == tree.subtree_size[tree.parent[v]]
+
+
+def test_message_count_linear():
+    tree = deterministic_tree(100, dmax=3)
+    _, stats = run_convergecast(tree)
+    # one SIZE_UP per non-root + one SIZE_DOWN per non-root
+    assert stats.total_msgs == 2 * (tree.n - 1)
+
+
+def test_completion_time_scales_with_height():
+    shallow = deterministic_tree(255, dmax=16)
+    deep = chain_tree(255)
+    _, s1 = run_convergecast(shallow)
+    _, s2 = run_convergecast(deep)
+    assert s2.makespan > s1.makespan
+
+
+def test_with_jitter_still_correct():
+    tree = random_tree(80, seed=1)
+    sim = Simulator(uniform_network(latency=1e-4, jitter=3.0), seed=2)
+    procs = [sim.add_process(ConvergecastProcess(v, tree))
+             for v in range(tree.n)]
+    sim.run()
+    for v, p in enumerate(procs):
+        assert p.service.my_size == tree.subtree_size[v]

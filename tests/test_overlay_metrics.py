@@ -1,0 +1,98 @@
+"""Tests for overlay metrics against hand-computed and networkx oracles."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.overlay.metrics import (degree_histogram, diameter, summarize)
+from repro.overlay.tree import (chain_tree, deterministic_tree, from_parents,
+                                random_tree, star_tree)
+from repro.overlay.topology import (bridge_edges, hypercube_edges,
+                                    neighbors_from_edges, overlay_edges,
+                                    tree_edges)
+from repro.overlay.bridges import add_bridges
+
+
+def test_diameter_known_shapes():
+    assert diameter(chain_tree(10)) == 9
+    assert diameter(star_tree(10)) == 2
+    assert diameter(deterministic_tree(1, 2)) == 0
+    assert diameter(deterministic_tree(3, 2)) == 2
+
+
+def test_degree_histogram_star():
+    h = degree_histogram(star_tree(6))
+    assert h == {5: 1, 1: 5}
+
+
+def test_summary_fields():
+    s = summarize(deterministic_tree(100, dmax=10))
+    assert s.n == 100 and s.kind == "TD"
+    assert s.height == 2
+    assert s.leaves == 90  # nodes 10..99 have no children
+    assert "TD(n=100)" in str(s)
+
+
+def test_summary_leaves_consistent():
+    t = deterministic_tree(100, dmax=10)
+    assert summarize(t).leaves == len(t.leaves())
+
+
+@st.composite
+def parent_vectors(draw):
+    n = draw(st.integers(min_value=2, max_value=40))
+    return [-1] + [draw(st.integers(min_value=0, max_value=v - 1))
+                   for v in range(1, n)]
+
+
+@given(parent_vectors())
+def test_property_diameter_matches_networkx(parents):
+    t = from_parents(parents)
+    g = nx.Graph(tree_edges(t))
+    g.add_nodes_from(range(t.n))
+    assert diameter(t) == nx.diameter(g)
+
+
+@given(parent_vectors())
+def test_property_distance_matches_networkx(parents):
+    t = from_parents(parents)
+    g = nx.Graph(tree_edges(t))
+    g.add_nodes_from(range(t.n))
+    for u in range(0, t.n, max(1, t.n // 5)):
+        lengths = nx.single_source_shortest_path_length(g, u)
+        for v in range(0, t.n, max(1, t.n // 5)):
+            assert t.distance(u, v) == lengths[v]
+
+
+def test_tree_edges_count():
+    t = random_tree(30, seed=2)
+    assert len(tree_edges(t)) == 29
+
+
+def test_overlay_edges_with_bridges():
+    t = deterministic_tree(30, dmax=3)
+    b = add_bridges(t, seed=1)
+    edges = overlay_edges(b)
+    assert len(edges) == 29 + len(bridge_edges(b))
+    assert len(bridge_edges(b)) == 30
+
+
+def test_hypercube_edges():
+    edges = hypercube_edges(8)
+    g = nx.Graph(edges)
+    assert g.number_of_edges() == 12  # 3-cube
+    assert all(d == 3 for _, d in g.degree())
+
+
+def test_hypercube_with_remainder():
+    edges = hypercube_edges(10)
+    g = nx.Graph(edges)
+    g.add_nodes_from(range(10))
+    assert nx.is_connected(g)
+
+
+def test_neighbors_from_edges_validation():
+    with pytest.raises(Exception):
+        neighbors_from_edges(3, [(0, 5)])
+    adj = neighbors_from_edges(3, [(0, 1), (1, 2)])
+    assert adj[1] == [0, 2]

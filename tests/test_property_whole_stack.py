@@ -1,0 +1,88 @@
+"""Whole-stack invariants over randomized configurations.
+
+Beyond conservation (covered in test_failure_injection), these pin the
+*physics* of the simulation: no protocol can beat perfect parallelism, busy
+time is exactly priced, and nothing deadlocks even on degenerate networks.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.synthetic import SyntheticApplication
+from repro.apps.uts_app import UTSApplication
+from repro.experiments.runner import RunConfig, build_workers, run_once
+from repro.sim import Simulator, uniform_network
+from repro.uts.params import PRESETS
+
+MINI = PRESETS["bin_mini"].params
+
+
+@settings(max_examples=25, deadline=None)
+@given(proto=st.sampled_from(["TD", "BTD", "TR", "BTR", "RWS", "LIFELINE"]),
+       n=st.integers(min_value=2, max_value=20),
+       quantum=st.sampled_from([4, 32, 128]),
+       seed=st.integers(min_value=0, max_value=500))
+def test_property_makespan_bounded_below_by_perfect_parallelism(
+        proto, n, quantum, seed):
+    unit_cost = 1e-5
+    total = 4000
+    r = run_once(RunConfig(protocol=proto, n=n, quantum=quantum, dmax=4,
+                           seed=seed),
+                 SyntheticApplication(total, unit_cost=unit_cost))
+    assert r.total_units == total
+    ideal = total * unit_cost / n
+    assert r.makespan >= ideal * 0.999
+    # and bounded above by the sequential time + generous overhead
+    assert r.makespan < total * unit_cost + 1.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(proto=st.sampled_from(["BTD", "RWS"]),
+       seed=st.integers(min_value=0, max_value=100))
+def test_property_busy_time_exactly_priced(proto, seed):
+    app = UTSApplication(MINI)
+    cfg = RunConfig(protocol=proto, n=6, dmax=3, quantum=32, seed=seed)
+    sim = Simulator(uniform_network(latency=1e-4), seed=seed)
+    build_workers(sim, cfg, app)
+    stats = sim.run()
+    priced = stats.total_work_units * app.unit_cost
+    assert stats.total_busy == pytest.approx(priced)
+
+
+def test_zero_latency_network():
+    """Degenerate network: everything delivered 'instantly' still works."""
+    net = uniform_network(latency=0.0, handler_cost=0.0)
+    for proto in ("TD", "BTD", "RWS"):
+        r = run_once(RunConfig(protocol=proto, n=8, dmax=3, quantum=16,
+                               seed=1, network=net),
+                     UTSApplication(MINI))
+        from repro.uts.sequential import count_tree
+        assert r.total_units == count_tree(MINI).nodes
+
+
+def test_huge_handler_cost_network():
+    """Messages costing more than quanta still converge."""
+    net = uniform_network(latency=1e-4, handler_cost=5e-3)
+    r = run_once(RunConfig(protocol="BTD", n=6, dmax=3, quantum=16, seed=1,
+                           network=net),
+                 UTSApplication(MINI))
+    from repro.uts.sequential import count_tree
+    assert r.total_units == count_tree(MINI).nodes
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=50))
+def test_property_finish_times_ordered(seed):
+    """No worker finishes before the last work unit completed... except
+    that detection propagates: all finishes come after work_done_time of
+    the worker's own last quantum — globally, makespan >= work_done."""
+    r = run_once(RunConfig(protocol="BTD", n=10, dmax=3, quantum=32,
+                           seed=seed),
+                 UTSApplication(MINI))
+    assert r.makespan >= r.work_done_time
+
+
+def test_single_unit_of_work_many_workers():
+    r = run_once(RunConfig(protocol="BTD", n=16, dmax=4, quantum=8, seed=2),
+                 SyntheticApplication(1, unit_cost=1e-5))
+    assert r.total_units == 1

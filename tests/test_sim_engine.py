@@ -1,0 +1,219 @@
+"""Engine + process tests: delivery, occupancy, deadlock detection."""
+
+import pytest
+
+from repro.sim import (Message, SimConfigError, SimDeadlockError, SimProcess,
+                       Simulator, uniform_network)
+
+
+class Sink(SimProcess):
+    """Records (time, kind) of everything it absorbs."""
+
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.log = []
+
+    def on_message(self, msg: Message):
+        self.log.append((self.now, msg.kind))
+
+
+class Sender(SimProcess):
+    def __init__(self, pid, dst, kinds):
+        super().__init__(pid)
+        self.dst, self.kinds = dst, kinds
+
+    def start(self):
+        for k in self.kinds:
+            self.send(self.dst, k)
+
+
+def _net(**kw):
+    kw.setdefault("latency", 1e-4)
+    kw.setdefault("handler_cost", 1e-5)
+    return uniform_network(**kw)
+
+
+def test_requires_processes():
+    with pytest.raises(SimConfigError):
+        Simulator(_net()).run()
+
+
+def test_pid_order_enforced():
+    sim = Simulator(_net())
+    with pytest.raises(SimConfigError):
+        sim.add_process(Sink(1))
+
+
+def test_single_shot_run():
+    sim = Simulator(_net())
+    sim.add_process(Sink(0))
+    sim.run()
+    with pytest.raises(SimConfigError):
+        sim.run()
+
+
+def test_message_delivery_and_handler_cost():
+    sim = Simulator(_net())
+    sim.add_process(Sender(0, 1, ["A"]))
+    sink = sim.add_process(Sink(1))
+    sim.run()
+    # arrival at latency + size/bw, handled handler_cost later
+    (t, k), = sink.log
+    assert k == "A"
+    assert t == pytest.approx(1e-4 + 64 / sim.network.bandwidth + 1e-5)
+    assert sink.stats.handler_time == pytest.approx(1e-5)
+    assert sink.stats.msgs_received == 1
+
+
+def test_messages_serialize_on_one_cpu():
+    sim = Simulator(_net())
+    sim.add_process(Sender(0, 1, ["A", "B", "C"]))
+    sink = sim.add_process(Sink(1))
+    sim.run()
+    times = [t for t, _ in sink.log]
+    kinds = [k for _, k in sink.log]
+    assert kinds == ["A", "B", "C"]
+    # same arrival instant, but handling occupies the CPU sequentially
+    assert times[1] - times[0] == pytest.approx(1e-5)
+    assert times[2] - times[1] == pytest.approx(1e-5)
+
+
+def test_occupy_defers_message_handling():
+    class Busy(Sink):
+        def start(self):
+            self.occupy(1.0, lambda: None)
+
+    sim = Simulator(_net())
+    sim.add_process(Sender(0, 1, ["A"]))
+    busy = sim.add_process(Busy(1))
+    sim.run()
+    (t, _), = busy.log
+    assert t == pytest.approx(1.0 + 1e-5)
+
+
+def test_occupy_chaining():
+    class Chain(SimProcess):
+        def __init__(self, pid):
+            super().__init__(pid)
+            self.marks = []
+
+        def start(self):
+            self.occupy(1.0, self._first)
+
+        def _first(self):
+            self.marks.append(self.now)
+            self.occupy(2.0, lambda: self.marks.append(self.now))
+
+    sim = Simulator(_net())
+    p = sim.add_process(Chain(0))
+    sim.run()
+    assert p.marks == [pytest.approx(1.0), pytest.approx(3.0)]
+
+
+def test_on_cpu_free_fires_after_drain():
+    class Counter(Sink):
+        def __init__(self, pid):
+            super().__init__(pid)
+            self.freed = 0
+
+        def on_cpu_free(self):
+            self.freed += 1
+
+    sim = Simulator(_net())
+    sim.add_process(Sender(0, 1, ["A", "B"]))
+    c = sim.add_process(Counter(1))
+    sim.run()
+    assert c.freed >= 1
+    assert len(c.log) == 2
+
+
+def test_deadlock_detection():
+    class Stuck(SimProcess):
+        def finished(self):
+            return False
+
+    sim = Simulator(_net())
+    sim.add_process(Stuck(0))
+    with pytest.raises(SimDeadlockError):
+        sim.run()
+
+
+def test_max_time_truncates_without_deadlock_error():
+    class Ticker(SimProcess):
+        def start(self):
+            self._tick()
+
+        def _tick(self):
+            self.call_after(1.0, self._tick)
+
+        def finished(self):
+            return False
+
+    sim = Simulator(_net())
+    sim.add_process(Ticker(0))
+    stats = sim.run(max_time=10.5)
+    assert stats.events_fired == 10
+
+
+def test_max_events_truncates():
+    class Ticker(SimProcess):
+        def start(self):
+            self._tick()
+
+        def _tick(self):
+            self.call_after(1.0, self._tick)
+
+        def finished(self):
+            return False
+
+    sim = Simulator(_net())
+    sim.add_process(Ticker(0))
+    stats = sim.run(max_events=5)
+    assert stats.events_fired == 5
+
+
+def test_stop_aborts():
+    class Stopper(SimProcess):
+        def start(self):
+            self.call_after(1.0, self.sim.stop)
+            self.call_after(2.0, lambda: (_ for _ in ()).throw(AssertionError))
+
+        def finished(self):
+            return False
+
+    sim = Simulator(_net())
+    sim.add_process(Stopper(0))
+    sim.run()  # must not raise
+
+
+def test_unknown_destination_rejected():
+    class Bad(SimProcess):
+        def start(self):
+            self.send(99, "X")
+
+    sim = Simulator(_net())
+    sim.add_process(Bad(0))
+    from repro.sim.errors import SimRuntimeError
+    with pytest.raises(SimRuntimeError):
+        sim.run()
+
+
+def test_determinism_across_runs():
+    def one_run():
+        sim = Simulator(_net(), seed=11)
+        sim.add_process(Sender(0, 1, [f"k{i}" for i in range(20)]))
+        sink = sim.add_process(Sink(1))
+        sim.run()
+        return sink.log
+
+    assert one_run() == one_run()
+
+
+def test_sent_stats_accounted():
+    sim = Simulator(_net())
+    sim.add_process(Sender(0, 1, ["A", "B"]))
+    sim.add_process(Sink(1))
+    st = sim.run()
+    assert st.per_process[0].msgs_sent == 2
+    assert st.per_process[0].bytes_sent == 2 * 64
+    assert st.total_msgs == 2

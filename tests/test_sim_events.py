@@ -1,0 +1,124 @@
+"""Unit tests for the event queue: ordering, cancellation, invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.errors import SimRuntimeError
+from repro.sim.events import EventQueue
+
+
+def test_fifo_for_equal_times():
+    q = EventQueue()
+    order = []
+    for i in range(5):
+        q.push(1.0, lambda i=i: order.append(i))
+    while (ev := q.pop()) is not None:
+        ev.action()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_time_ordering():
+    q = EventQueue()
+    fired = []
+    q.push(3.0, lambda: fired.append(3))
+    q.push(1.0, lambda: fired.append(1))
+    q.push(2.0, lambda: fired.append(2))
+    while (ev := q.pop()) is not None:
+        ev.action()
+    assert fired == [1, 2, 3]
+
+
+def test_now_advances_with_pop():
+    q = EventQueue()
+    q.push(5.0, lambda: None)
+    assert q.now == 0.0
+    q.pop()
+    assert q.now == 5.0
+
+
+def test_push_into_past_rejected():
+    q = EventQueue()
+    q.push(5.0, lambda: None)
+    q.pop()
+    with pytest.raises(SimRuntimeError):
+        q.push(4.0, lambda: None)
+
+
+def test_push_at_now_allowed():
+    q = EventQueue()
+    q.push(5.0, lambda: None)
+    q.pop()
+    q.push(5.0, lambda: None)  # same time is fine
+    assert q.pop() is not None
+
+
+def test_cancellation_skips_event():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: (_ for _ in ()).throw(AssertionError))
+    q.push(2.0, lambda: None)
+    ev.cancel()
+    popped = q.pop()
+    assert popped is not None and popped.time == 2.0
+    assert q.skipped == 1
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.push(7.0, lambda: None)
+    ev.cancel()
+    assert q.peek_time() == 7.0
+
+
+def test_len_and_bool():
+    q = EventQueue()
+    assert not q and len(q) == 0
+    q.push(1.0, lambda: None)
+    assert q and len(q) == 1
+
+
+def test_counters():
+    q = EventQueue()
+    for t in (1.0, 2.0):
+        q.push(t, lambda: None)
+    q.pop(), q.pop()
+    assert q.pushed == 2 and q.fired == 2
+
+
+def test_snapshot_tags():
+    q = EventQueue()
+    q.push(2.0, lambda: None, tag="b")
+    q.push(1.0, lambda: None, tag="a")
+    assert q.snapshot_tags() == [(1.0, "a"), (2.0, "b")]
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=200))
+def test_property_pop_order_is_sorted(times):
+    q = EventQueue()
+    for t in times:
+        q.push(t, lambda: None)
+    popped = []
+    while (ev := q.pop()) is not None:
+        popped.append(ev.time)
+    assert popped == sorted(times)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=100,
+                                    allow_nan=False),
+                          st.booleans()),
+                min_size=1, max_size=100))
+def test_property_cancelled_never_fire(entries):
+    q = EventQueue()
+    events = [(q.push(t, lambda: None), cancel) for t, cancel in entries]
+    live = 0
+    for ev, cancel in events:
+        if cancel:
+            ev.cancel()
+        else:
+            live += 1
+    fired = 0
+    while q.pop() is not None:
+        fired += 1
+    assert fired == live

@@ -1,0 +1,97 @@
+"""Tests for the network cost model and cluster placement."""
+
+import pytest
+
+from repro.sim.errors import SimConfigError
+from repro.sim.network import (ClusterSpec, NetworkModel, grid5000,
+                               uniform_network)
+
+
+def test_cluster_validation():
+    with pytest.raises(SimConfigError):
+        ClusterSpec("bad", 0)
+
+
+def test_model_validation():
+    with pytest.raises(SimConfigError):
+        NetworkModel(clusters=())
+    with pytest.raises(SimConfigError):
+        NetworkModel(clusters=(ClusterSpec("a", 4),), bandwidth=0)
+    with pytest.raises(SimConfigError):
+        NetworkModel(clusters=(ClusterSpec("a", 4),), lat_intra=-1)
+    with pytest.raises(SimConfigError):
+        NetworkModel(clusters=(ClusterSpec("a", 4),), handler_cost=-1)
+
+
+def test_placement_small_run_stays_on_c1():
+    net = grid5000()
+    net.place(200, seed=1)
+    assert all(net.cluster_of(p) == 0 for p in range(200))
+
+
+def test_placement_large_run_uses_both():
+    net = grid5000()
+    net.place(1000, seed=1)
+    used = {net.cluster_of(p) for p in range(1000)}
+    assert used == {0, 1}
+
+
+def test_placement_capacity_check():
+    net = grid5000()
+    with pytest.raises(SimConfigError):
+        net.place(92 * 8 + 144 * 4 + 1)
+    with pytest.raises(SimConfigError):
+        net.place(0)
+
+
+def test_placement_required_before_latency():
+    net = grid5000()
+    with pytest.raises(SimConfigError):
+        net.latency(0, 1)
+
+
+def test_placement_deterministic():
+    a, b = grid5000(), grid5000()
+    a.place(1000, seed=7)
+    b.place(1000, seed=7)
+    assert all(a.cluster_of(p) == b.cluster_of(p) for p in range(1000))
+
+
+def test_latency_intra_vs_inter():
+    net = grid5000()
+    net.place(1000, seed=3)
+    by_cluster = {0: [], 1: []}
+    for p in range(1000):
+        by_cluster[net.cluster_of(p)].append(p)
+    a, b = by_cluster[0][0], by_cluster[0][1]
+    c = by_cluster[1][0]
+    assert net.latency(a, b) == net.lat_intra
+    assert net.latency(a, c) == net.lat_inter
+    assert net.latency(a, a) == 0.0
+
+
+def test_delivery_delay_includes_bandwidth():
+    net = uniform_network(latency=1e-4)
+    net.place(2)
+    small = net.delivery_delay(0, 1, 100)
+    big = net.delivery_delay(0, 1, 10_000_000)
+    assert big > small
+    assert small == pytest.approx(1e-4 + 100 / net.bandwidth)
+
+
+def test_jitter_adds_positive_noise_deterministically():
+    net1 = uniform_network(latency=1e-4, jitter=2.0)
+    net2 = uniform_network(latency=1e-4, jitter=2.0)
+    net1.place(4, seed=5)
+    net2.place(4, seed=5)
+    d1 = [net1.delivery_delay(0, 1, 64) for _ in range(20)]
+    d2 = [net2.delivery_delay(0, 1, 64) for _ in range(20)]
+    assert d1 == d2
+    assert all(d >= 1e-4 for d in d1)
+    assert len(set(d1)) > 1  # actually jittering
+
+
+def test_no_jitter_on_self_messages():
+    net = uniform_network(latency=1e-4, jitter=2.0)
+    net.place(2, seed=5)
+    assert net.delivery_delay(0, 0, 64) == pytest.approx(64 / net.bandwidth)

@@ -1,0 +1,51 @@
+"""Tests for statistics containers and aggregation."""
+
+import pytest
+
+from repro.sim.stats import ProcessStats, RunStats
+
+
+def test_process_stats_idle_time():
+    p = ProcessStats(pid=0, busy_time=0.3, handler_time=0.1)
+    assert p.idle_time(horizon=1.0) == pytest.approx(0.6)
+    assert p.idle_time(horizon=0.2) == 0.0  # clamped
+
+
+def test_runstats_create():
+    rs = RunStats.create(4)
+    assert rs.n == 4
+    assert [p.pid for p in rs.per_process] == [0, 1, 2, 3]
+
+
+def test_runstats_aggregates():
+    rs = RunStats.create(3)
+    for i, p in enumerate(rs.per_process):
+        p.work_units = 10 * (i + 1)
+        p.msgs_sent = i
+        p.steals_attempted = 2
+        p.steals_successful = 1
+        p.busy_time = 0.5
+    rs.makespan = 1.0
+    assert rs.total_work_units == 60
+    assert rs.total_msgs == 3
+    assert rs.total_steals == 6
+    assert rs.total_steals_ok == 3
+    assert rs.total_busy == pytest.approx(1.5)
+    assert rs.msgs_by_pid() == [0, 1, 2]
+    assert rs.busy_fraction() == pytest.approx(0.5)
+
+
+def test_runstats_efficiency():
+    rs = RunStats.create(4)
+    rs.makespan = 2.0
+    assert rs.efficiency_vs(t_seq=8.0) == 1.0
+    rs.makespan = 4.0
+    assert rs.efficiency_vs(t_seq=8.0) == 0.5
+    rs.makespan = 0.0
+    assert rs.efficiency_vs(t_seq=8.0) == 0.0
+
+
+def test_empty_runstats_guards():
+    rs = RunStats.create(0)
+    assert rs.busy_fraction() == 0.0
+    assert rs.efficiency_vs(1.0) == 0.0

@@ -1,0 +1,75 @@
+"""Tests for the splittable UTS RNG substitute."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.uts.rng import (child_states, decide_unit, nth_child, root_state)
+
+
+def test_root_state_deterministic():
+    assert root_state(599) == root_state(599)
+    assert root_state(599) != root_state(316)
+
+
+def test_decide_unit_range_and_determinism():
+    s = np.arange(1000, dtype=np.uint64)
+    u1, u2 = decide_unit(s), decide_unit(s)
+    assert np.array_equal(u1, u2)
+    assert (u1 >= 0).all() and (u1 < 1).all()
+
+
+def test_decide_unit_roughly_uniform():
+    s = np.arange(200_000, dtype=np.uint64)
+    u = decide_unit(s)
+    assert abs(u.mean() - 0.5) < 0.005
+    hist, _ = np.histogram(u, bins=10, range=(0, 1))
+    assert hist.min() > 18_000  # every decile populated
+
+def test_child_states_shape_and_order():
+    parents = np.array([10, 20, 30], dtype=np.uint64)
+    counts = np.array([2, 0, 3])
+    kids = child_states(parents, counts)
+    assert len(kids) == 5
+    # parent-major order with per-parent indices
+    assert kids[0] == nth_child(parents[0], 0)
+    assert kids[1] == nth_child(parents[0], 1)
+    assert kids[2] == nth_child(parents[2], 0)
+    assert kids[4] == nth_child(parents[2], 2)
+
+
+def test_child_states_empty():
+    assert len(child_states(np.array([1], dtype=np.uint64),
+                            np.array([0]))) == 0
+    assert len(child_states(np.empty(0, dtype=np.uint64),
+                            np.empty(0, dtype=np.int64))) == 0
+
+
+def test_splittability_children_depend_only_on_parent_state():
+    """The same node shipped to another worker regenerates the same subtree."""
+    p = root_state(42)
+    kids_here = child_states(np.array([p], dtype=np.uint64), np.array([4]))
+    kids_there = child_states(np.array([p], dtype=np.uint64), np.array([4]))
+    assert np.array_equal(kids_here, kids_there)
+
+
+def test_sibling_states_distinct():
+    p = np.array([root_state(1)], dtype=np.uint64)
+    kids = child_states(p, np.array([1000]))
+    assert len(np.unique(kids)) == 1000
+
+
+@given(st.integers(min_value=0, max_value=2**62),
+       st.integers(min_value=0, max_value=100))
+def test_property_nth_child_matches_vector(seed, idx):
+    p = root_state(seed)
+    kids = child_states(np.array([p], dtype=np.uint64),
+                        np.array([idx + 1]))
+    assert kids[idx] == nth_child(p, idx)
+
+
+def test_different_parents_different_families():
+    a = child_states(np.array([root_state(1)], dtype=np.uint64),
+                     np.array([100]))
+    b = child_states(np.array([root_state(2)], dtype=np.uint64),
+                     np.array([100]))
+    assert len(np.intersect1d(a, b)) == 0

@@ -1,0 +1,149 @@
+"""Tests for UTSWork: conservation, splitting, distributed-count equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.uts.params import PRESETS
+from repro.uts.sequential import count_tree
+from repro.uts.tree import UTSParams
+from repro.uts.work import ENTRY_BYTES, UTSWork
+
+P_SMALL = UTSParams(b0=30, q=0.44, m=2, root_seed=1)
+
+
+def drain(work: UTSWork, quantum=64) -> int:
+    done = 0
+    while not work.is_empty():
+        done += work.process(quantum)
+    return done
+
+
+def test_root_work_counts_whole_tree():
+    expected = count_tree(P_SMALL).nodes
+    assert drain(UTSWork.root(P_SMALL)) == expected
+
+
+def test_process_zero_units():
+    w = UTSWork.root(P_SMALL)
+    assert w.process(0) == 0
+    assert UTSWork.empty(P_SMALL).process(100) == 0
+
+
+def test_process_respects_quantum():
+    w = UTSWork.root(P_SMALL)
+    w.process(1)  # pops the root, pushes b0 children
+    assert w.amount() == 30
+    assert w.process(10) == 10
+
+
+def test_split_conservation():
+    w = UTSWork.root(P_SMALL)
+    w.process(1)
+    before = w.amount()
+    piece = w.split(0.4)
+    assert piece is not None
+    assert piece.amount() + w.amount() == before
+    assert piece.amount() == int(0.4 * before)
+
+
+def test_split_keeps_at_least_one():
+    w = UTSWork.root(P_SMALL)
+    w.process(1)
+    piece = w.split(1.0)
+    assert w.amount() >= 1
+    assert piece.amount() == 29
+
+
+def test_split_of_single_entry_returns_none():
+    w = UTSWork.root(P_SMALL)  # one entry (the root)
+    assert w.split(0.9) is None
+    assert w.amount() == 1
+
+
+def test_split_zero_fraction():
+    w = UTSWork.root(P_SMALL)
+    w.process(1)
+    assert w.split(0.0) is None
+
+
+def test_merge_conservation_and_emptying():
+    w = UTSWork.root(P_SMALL)
+    w.process(1)
+    piece = w.split(0.5)
+    total = w.amount() + piece.amount()
+    w.merge(piece)
+    assert w.amount() == total
+    assert piece.amount() == 0
+
+
+def test_merge_type_check():
+    from repro.sim.errors import SimConfigError
+
+    class Fake:
+        pass
+
+    w = UTSWork.root(P_SMALL)
+    with pytest.raises((SimConfigError, TypeError)):
+        w.merge(Fake())
+
+
+def test_encoded_bytes():
+    w = UTSWork.root(P_SMALL)
+    w.process(1)
+    assert w.encoded_bytes() == ENTRY_BYTES * w.amount()
+
+
+def test_split_then_drain_equals_sequential():
+    """Work split across two 'workers' still counts the whole tree."""
+    expected = count_tree(P_SMALL).nodes
+    w = UTSWork.root(P_SMALL)
+    done = w.process(1)
+    piece = w.split(0.5)
+    done += drain(w) + drain(piece)
+    assert done == expected
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.lists(st.tuples(st.floats(min_value=0.05, max_value=0.95),
+                          st.integers(min_value=1, max_value=200)),
+                min_size=0, max_size=6),
+       st.integers(min_value=0, max_value=5))
+def test_property_arbitrary_split_schedule_preserves_count(schedule, seed):
+    """Any interleaving of process/split/merge across many piles conserves
+    the total node count — the core distributed-correctness invariant."""
+    params = UTSParams(b0=12, q=0.40, m=2, root_seed=seed)
+    expected = count_tree(params).nodes
+    piles = [UTSWork.root(params)]
+    done = 0
+    for frac, quantum in schedule:
+        # process a bit of the biggest pile, then split it onto a new pile
+        piles.sort(key=lambda w: -w.amount())
+        done += piles[0].process(quantum)
+        piece = piles[0].split(frac)
+        if piece is not None:
+            piles.append(piece)
+    # merge one pair back if possible, then drain everything
+    if len(piles) >= 2:
+        piles[0].merge(piles.pop())
+    for w in piles:
+        done += drain(w)
+    assert done == expected
+
+
+def test_stack_grows_beyond_initial_capacity():
+    params = PRESETS["bin_mini"].params
+    w = UTSWork.root(params)
+    total = drain(w, quantum=8)
+    assert total == count_tree(params).nodes
+
+
+def test_merge_puts_incoming_under_the_stack():
+    w = UTSWork.root(P_SMALL)
+    w.process(1)
+    piece = w.split(0.3)
+    top_before, _ = w.peek()
+    w.merge(piece)
+    after, _ = w.peek()
+    # the previous top of stack is still on top (end of array)
+    assert after[-1] == top_before[-1]
