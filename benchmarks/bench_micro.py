@@ -66,6 +66,19 @@ def test_bnb_engine_rate(benchmark):
     assert benchmark(run) >= 20_000
 
 
+def test_bnb_llrk_rate(benchmark):
+    """vectorised LLRK bound kernel through the full engine loop."""
+    inst = scaled_instance(1, n_jobs=10, n_machines=10)
+    engine = BnBEngine(inst, bound="llrk")
+
+    def run():
+        work = BnBWork.full_tree(10)
+        shared = BoundState()
+        return engine.explore(work, shared, 20_000).nodes
+
+    assert benchmark(run) >= 20_000
+
+
 def test_interval_decode(benchmark):
     n = 20
     positions = [tree_leaves(n) // 7 * k for k in range(7)]

@@ -1,0 +1,115 @@
+"""Record kernel throughput against the pre-overhaul baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record.py
+
+Re-measures the hot paths touched by the vectorised-kernel overhaul and
+writes ``BENCH_kernels.json`` next to this file with before/after/speedup
+per metric. The BASELINE numbers were captured at the seed commit with the
+same methodology (same instances, budgets and best-of-N repeats as below),
+so the speedup column is apples-to-apples on the recording machine.
+"""
+
+import json
+import pathlib
+import platform
+import time
+
+from repro.bnb.engine import BnBEngine
+from repro.bnb.state import BoundState
+from repro.bnb.taillard import scaled_instance
+from repro.bnb.work import BnBWork
+from repro.sim.events import EventQueue
+from repro.uts.sequential import count_tree
+from repro.uts.tree import UTSParams
+
+#: Throughput at the seed commit (ops or nodes per second), measured with
+#: the functions below on the same machine before the kernel overhaul.
+BASELINE = {
+    "event_queue_ops_per_s": 524_760,
+    "bnb_lb1_nodes_per_s": 235_489,
+    "bnb_llrk_nodes_per_s": 73_660,
+    "bnb_llrk_full_nodes_per_s": 70_364,
+    "uts_nodes_per_s": 4_901_806,
+}
+
+
+def best_of(fn, repeats=5):
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        dt = time.perf_counter() - t0
+        best = min(best, dt)
+    return out, best
+
+
+def event_queue_rate():
+    def run():
+        q = EventQueue()
+        noop = lambda: None
+        for i in range(20_000):
+            q.push(float(i % 97), noop)
+        while q.pop() is not None:
+            pass
+        return q.fired
+
+    fired, dt = best_of(run)
+    return 2 * fired / dt  # push+pop pairs -> ops/sec
+
+
+def bnb_rate(bound, budget=30_000):
+    inst = scaled_instance(1, n_jobs=10, n_machines=10)
+    eng = BnBEngine(inst, bound=bound)
+
+    def run():
+        work = BnBWork.full_tree(10)
+        shared = BoundState()
+        return eng.explore(work, shared, budget).nodes
+
+    nodes, dt = best_of(run)
+    return nodes / dt
+
+
+def uts_rate():
+    params = UTSParams(b0=2000, q=0.49, m=2, root_seed=5)
+
+    def run():
+        return count_tree(params, max_nodes=5_000_000).nodes
+
+    nodes, dt = best_of(run, repeats=3)
+    return nodes / dt
+
+
+def main():
+    after = {
+        "event_queue_ops_per_s": round(event_queue_rate()),
+        "bnb_lb1_nodes_per_s": round(bnb_rate("lb1")),
+        "bnb_llrk_nodes_per_s": round(bnb_rate("llrk")),
+        "bnb_llrk_full_nodes_per_s": round(bnb_rate("llrk-full")),
+        "uts_nodes_per_s": round(uts_rate()),
+    }
+    report = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "metrics": {
+            name: {
+                "before": BASELINE[name],
+                "after": after[name],
+                "speedup": round(after[name] / BASELINE[name], 2),
+            }
+            for name in BASELINE
+        },
+    }
+    out = pathlib.Path(__file__).with_name("BENCH_kernels.json")
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    for name, row in report["metrics"].items():
+        print(f"{name:32s} {row['before']:>12,} -> {row['after']:>12,} "
+              f"({row['speedup']:.2f}x)")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,17 +12,35 @@ one-machine and two-machine (Johnson) relaxations. We implement:
   precomputed per pair at attach time) seeded with the prefix's machine
   ready times, plus the smallest tail after v. Stronger, ~|pairs|·|remaining|
   per child.
+* :class:`JohnsonLagBound` — the same relaxation with the in-between
+  machines folded into job lags: the full LLRK two-machine bound.
 * :class:`MaxBound` — pointwise maximum of component bounds (LLRK style).
 * :class:`TrivialBound` — last-machine-only; the weak oracle used in tests.
 
 All bounds are *admissible*: they never exceed the best makespan reachable
 below the node (property-tested against exhaustive enumeration).
 
-Engine contract: ``attach`` once per instance; ``frame(remaining,
-unscheduled)`` once per expanded node; ``child(front_child, job, frame_data,
-rem_sum_child)`` once per child. To keep the per-child cost O(m), frame-level
-minima are taken over the *parent's* remaining set (they include the child's
-own job — a relaxation that only lowers the bound, hence stays admissible).
+Engine contract: ``attach`` once per instance; then one of three paths,
+all bit-identical (golden-tested in ``tests/test_bnb_kernels.py``):
+
+* the scalar reference path — ``frame(remaining)`` once per expanded node,
+  then ``child(front_child, job, frame_data, rem_sum_child)`` once per
+  child, with the engine's unscheduled mask (published through
+  :meth:`LowerBound.set_mask`) reflecting the *child's* unscheduled set;
+* the batched kernel path — ``children(front_parent, remaining,
+  frame_data, rem_sum_parent)`` once per expanded node, returning the
+  bounds of *all* children as an int64 ndarray (order of ``remaining``);
+  pass ``frame_data=None`` to let the bound derive its frame minima
+  internally (same integer math);
+* the subset-cached path — ``children_cached(key, front_parent,
+  remaining)`` with ``key`` the bitmask of ``remaining``: like
+  ``children`` but with every front-independent quantity (child geometry,
+  Johnson skip-one tables, frame minima) cached per subset, which a DFS
+  revisits constantly. This is the engine's hot path.
+
+To keep the per-child cost O(m), frame-level minima are taken over the
+*parent's* remaining set (they include the child's own job — a relaxation
+that only lowers the bound, hence stays admissible).
 """
 
 from __future__ import annotations
@@ -30,9 +48,34 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Sequence
 
+import numpy as np
+
 from ..sim.errors import SimConfigError
 from .flowshop import FlowshopInstance
-from .johnson import johnson_order
+from .johnson import johnson_order, lag_order
+from . import kernels
+
+
+def _parse_pairs(spec: str | list[tuple[int, int]], m: int,
+                 who: str) -> list[tuple[int, int]]:
+    """Resolve a machine-pair spec: ``adjacent | last | all`` or explicit."""
+    if spec == "adjacent":
+        pairs = [(u, u + 1) for u in range(m - 1)]
+    elif spec == "last":
+        pairs = [(u, m - 1) for u in range(m - 1)]
+    elif spec == "all":
+        pairs = [(u, v) for u in range(m) for v in range(u + 1, m)]
+    elif isinstance(spec, list):
+        for u, v in spec:
+            if not (0 <= u < v < m):
+                raise SimConfigError(f"bad machine pair ({u}, {v})")
+        pairs = list(spec)
+    else:
+        raise SimConfigError(f"bad pairs spec {spec!r}")
+    if not pairs:
+        raise SimConfigError(f"{who} needs >= 1 machine pair "
+                             "(single-machine instance?)")
+    return pairs
 
 
 class LowerBound(ABC):
@@ -42,15 +85,27 @@ class LowerBound(ABC):
 
     def __init__(self) -> None:
         self.instance: FlowshopInstance | None = None
+        # The engine publishes its unscheduled mask here before child()
+        # calls; a shared list avoids building per-child job sets in the
+        # hot loop. Instance-level: two engines (hence two bound instances)
+        # must never see each other's masks.
+        self._mask: list[bool] | None = None
+        # subset bitmask -> (cc0, cc1, rsT, frame tables); see children_cached
+        self._cache: dict[int, tuple] = {}
 
     def attach(self, instance: FlowshopInstance) -> "LowerBound":
         """Bind to an instance and precompute; returns self for chaining."""
         self.instance = instance
+        self._cache = {}
         self._precompute()
         return self
 
     def _precompute(self) -> None:
         """Optional instance-level precomputation hook."""
+
+    def set_mask(self, unscheduled: list[bool]) -> None:
+        """Adopt the engine's (live, shared) unscheduled mask."""
+        self._mask = unscheduled
 
     @abstractmethod
     def frame(self, remaining: Sequence[int]) -> Any:
@@ -68,6 +123,97 @@ class LowerBound(ABC):
             rem_sum: per-machine unscheduled work, ``job`` already excluded.
         """
 
+    # -- batched kernel layer --------------------------------------------------
+
+    def children(self, front: Sequence[int], remaining: Sequence[int],
+                 frame_data: Any, rem_sum: Sequence[int],
+                 fronts: np.ndarray | None = None,
+                 rem_sums: np.ndarray | None = None) -> np.ndarray:
+        """Bounds of *all* children of an expanded node, one vector call.
+
+        Args:
+            front: the parent's machine completion times.
+            remaining: the parent's unscheduled jobs (child order).
+            frame_data: :meth:`frame` result for ``remaining``, or None to
+                let the bound derive its frame minima internally (batched
+                callers skip the scalar ``frame`` entirely).
+            rem_sum: the parent's per-machine unscheduled work (children's
+                jobs still included).
+            fronts / rem_sums: optional precomputed child fronts and child
+                rem-sums (callers may share them across bounds); computed
+                here when absent.
+
+        Returns an int64 array, entry ``c`` bit-identical to the scalar
+        ``child`` call for ``remaining[c]``.
+        """
+        jobs = np.asarray(remaining, dtype=np.intp)
+        if fronts is None or rem_sums is None:
+            p, cp, cpp, _ = kernels.instance_arrays(self.instance)
+            if fronts is None:
+                fronts = kernels.child_fronts(front, jobs, cp, cpp)
+            if rem_sums is None:
+                rem_sums = kernels.child_rem_sums(rem_sum, jobs, p)
+        g = np.ascontiguousarray(fronts.T)
+        rsT = np.ascontiguousarray(rem_sums.T)
+        return self._frame_eval(self._frame_tables(jobs, rsT), g, rsT)
+
+    def children_cached(self, key: int, front: Sequence[int],
+                        remaining: Sequence[int]) -> tuple[np.ndarray,
+                                                           np.ndarray]:
+        """Bounds *and* fronts of all children of one frame, subset-cached.
+
+        ``key`` is the bitmask of ``remaining``. Returns ``(lbs, fronts)``
+        with ``lbs`` bit-identical to :meth:`children` and ``fronts`` the
+        (k, m) child completion fronts (the engine reuses row ``c`` as the
+        front of the child it enters). Front-independent per-subset data —
+        child geometry and :meth:`_frame_tables` output — is cached keyed
+        by ``key``; only the front-dependent :meth:`_frame_eval` runs per
+        call. Caches self-clear at ``kernels.CACHE_CAP`` entries.
+        """
+        cache = self._cache
+        entry = cache.get(key)
+        if entry is None:
+            if len(cache) >= kernels.CACHE_CAP:
+                cache.clear()
+            jobs, cc0, cc1, rsT, _ = kernels.subset_geometry(
+                self.instance, key, remaining)
+            entry = (cc0, cc1, rsT, self._frame_tables(jobs, rsT))
+            cache[key] = entry
+        cc0, cc1, rsT, tables = entry
+        g = kernels.fronts_matrix(front, cc0, cc1)
+        return self._frame_eval(tables, g, rsT), g.T
+
+    def _frame_tables(self, jobs: np.ndarray, rsT: np.ndarray) -> Any:
+        """Front-independent tables of one subset (cacheable).
+
+        ``rsT[i, c]`` is machine ``i``'s unscheduled work for child ``c``.
+        The fallback keeps the scalar :meth:`frame` result (a function of
+        the subset only) plus the subset itself for the scalar loop.
+        """
+        return jobs, self.frame(jobs.tolist())
+
+    def _frame_eval(self, tables: Any, g: np.ndarray,
+                    rsT: np.ndarray) -> np.ndarray:
+        """Per-child bounds from :meth:`_frame_tables` output and child
+        fronts ``g`` (m, k, one column per child).
+
+        Reference fallback: one scalar :meth:`child` call per job, with the
+        engine's mask discipline (the child's own job flipped out around
+        the call) so mask-walking bounds see the child's set.
+        """
+        jobs, frame_data = tables
+        fronts = g.T
+        rem_sums = rsT.T
+        mask = self._mask
+        out = np.empty(jobs.shape[0], dtype=np.int64)
+        for c, j in enumerate(jobs):
+            if mask is not None:
+                mask[j] = False
+            out[c] = self.child(fronts[c], j, frame_data, rem_sums[c])
+            if mask is not None:
+                mask[j] = True
+        return out
+
 
 class TrivialBound(LowerBound):
     """Last machine only: front[m-1] + remaining work on it. Weak; tests."""
@@ -79,6 +225,12 @@ class TrivialBound(LowerBound):
 
     def child(self, front, job, frame_data, rem_sum) -> int:
         return front[-1] + rem_sum[-1]
+
+    def _frame_tables(self, jobs, rsT):
+        return None
+
+    def _frame_eval(self, tables, g, rsT):
+        return g[-1] + rsT[-1]
 
 
 class OneMachineBound(LowerBound):
@@ -97,16 +249,12 @@ class OneMachineBound(LowerBound):
     def __init__(self) -> None:
         super().__init__()
         self._tail_order: list[list[int]] = []
-        self._mask: list[bool] | None = None
 
     def _precompute(self) -> None:
         tails = self.instance.tails
         n = self.instance.n_jobs
         self._tail_order = [sorted(range(n), key=lambda j: tails[i][j])
                             for i in range(self.instance.n_machines)]
-
-    def set_mask(self, unscheduled: list[bool]) -> None:
-        self._mask = unscheduled
 
     def frame(self, remaining: Sequence[int]) -> list[int]:
         # smallest tail after machine i over the unscheduled set (parent's)
@@ -133,53 +281,89 @@ class OneMachineBound(LowerBound):
                 best = v
         return best
 
+    def _frame_tables(self, jobs, rsT):
+        # min tails folded into the per-child work column: the eval is then
+        # a single add + column-max
+        _, _, _, tails = kernels.instance_arrays(self.instance)
+        return rsT + tails[:, jobs].min(axis=1)[:, None]
 
-class JohnsonPairBound(LowerBound):
-    """Two-machine (Johnson) relaxations over a set of machine pairs.
+    def _frame_eval(self, tables, g, rsT):
+        t = g + tables
+        return t.max(axis=0)
+
+
+class _PairRelaxationBound(LowerBound):
+    """Common machinery of the two-machine relaxation bounds.
+
+    Subclasses provide the per-pair job order (plain Johnson or
+    lag-transformed) and the scalar walk; the batched path is shared —
+    a :class:`repro.bnb.kernels.PairKernel` holding the closed-form
+    skip-one tables (``lags=None`` for the zero-lag variant).
 
     ``pairs``: ``"adjacent"`` (u, u+1), ``"last"`` (u, m-1), ``"all"``
-    (every u < v), or an explicit list. Each pair's Johnson order over all
-    jobs is precomputed at attach; at bound time the order is walked skipping
-    scheduled jobs.
-    """
+    (every u < v), or an explicit list.
 
-    name = "johnson"
+    The scalar reference skips a pair when the child has no unscheduled
+    work on its first machine; with strictly positive processing times
+    that only happens for an empty unscheduled set, where the pair value
+    never exceeds the trivial floor — so the batched path needs no such
+    mask to stay bit-identical.
+    """
 
     def __init__(self, pairs: str | list[tuple[int, int]] = "adjacent") -> None:
         super().__init__()
         self.pairs_spec = pairs
         self.pairs: list[tuple[int, int]] = []
         self._orders: list[list[int]] = []
+        self._kernel: kernels.PairKernel | None = None
+
+    def _make_order(self, u: int, v: int) -> list[int]:
+        raise NotImplementedError
+
+    def _kernel_lags(self):
+        """(npairs, n) lag matrix for the kernel, or None for zero lags."""
+        return None
 
     def _precompute(self) -> None:
         m = self.instance.n_machines
-        spec = self.pairs_spec
-        if spec == "adjacent":
-            self.pairs = [(u, u + 1) for u in range(m - 1)]
-        elif spec == "last":
-            self.pairs = [(u, m - 1) for u in range(m - 1)]
-        elif spec == "all":
-            self.pairs = [(u, v) for u in range(m) for v in range(u + 1, m)]
-        elif isinstance(spec, list):
-            for u, v in spec:
-                if not (0 <= u < v < m):
-                    raise SimConfigError(f"bad machine pair ({u}, {v})")
-            self.pairs = list(spec)
-        else:
-            raise SimConfigError(f"bad pairs spec {spec!r}")
-        if not self.pairs:
-            raise SimConfigError("JohnsonPairBound needs >= 1 machine pair "
-                                 "(single-machine instance?)")
-        p = self.instance.p
-        self._orders = [johnson_order(p[u], p[v]) for u, v in self.pairs]
+        self.pairs = _parse_pairs(self.pairs_spec, m, type(self).__name__)
+        self._orders = [self._make_order(u, v) for u, v in self.pairs]
+        p, _, _, tails = kernels.instance_arrays(self.instance)
+        self._kernel = kernels.PairKernel(
+            p, tails, self.pairs, np.asarray(self._orders, dtype=np.intp),
+            lags=self._kernel_lags())
 
     def frame(self, remaining: Sequence[int]) -> list[int]:
         tails = self.instance.tails
         return [min(tails[v][j] for j in remaining)
                 for _, v in self.pairs]
 
+    def _frame_tables(self, jobs, rsT):
+        return self._kernel.tables(jobs)
+
+    def _frame_eval(self, tables, g, rsT):
+        out = self._kernel.eval(tables, g)
+        floor = g[-1] + rsT[-1]              # never below the trivial bound
+        np.maximum(out, floor, out=out)
+        return out
+
+
+class JohnsonPairBound(_PairRelaxationBound):
+    """Two-machine (Johnson) relaxations over a set of machine pairs.
+
+    Each pair's Johnson order over all jobs is precomputed at attach; at
+    bound time the order is walked skipping scheduled jobs.
+    """
+
+    name = "johnson"
+
+    def _make_order(self, u: int, v: int) -> list[int]:
+        p = self.instance.p
+        return johnson_order(p[u], p[v])
+
     def child(self, front, job, frame_data, rem_sum) -> int:
         p = self.instance.p
+        mask = self._mask
         best = front[-1] + rem_sum[-1]  # never worse than the trivial bound
         for k, (u, v) in enumerate(self.pairs):
             if rem_sum[u] == 0:
@@ -189,7 +373,7 @@ class JohnsonPairBound(LowerBound):
             for j in self._orders[k]:
                 # walk Johnson order, keeping only unscheduled jobs; the
                 # scheduled ones have rem contribution 0 on every machine
-                if self._unscheduled[j]:
+                if mask[j]:
                     ta += pu[j]
                     if ta > tb:
                         tb = ta
@@ -199,15 +383,8 @@ class JohnsonPairBound(LowerBound):
                 best = val
         return best
 
-    # The engine publishes its unscheduled mask here before child() calls;
-    # a shared list avoids building per-child job sets in the hot loop.
-    _unscheduled: list[bool] = []
 
-    def set_mask(self, unscheduled: list[bool]) -> None:
-        self._unscheduled = unscheduled
-
-
-class JohnsonLagBound(LowerBound):
+class JohnsonLagBound(_PairRelaxationBound):
     """Two-machine relaxations *with time lags* — the full LLRK bound.
 
     For a machine pair (u, v), the machines strictly between them are
@@ -222,52 +399,26 @@ class JohnsonLagBound(LowerBound):
     name = "johnson-lag"
 
     def __init__(self, pairs: str | list[tuple[int, int]] = "adjacent") -> None:
-        super().__init__()
-        self.pairs_spec = pairs
-        self.pairs: list[tuple[int, int]] = []
-        self._orders: list[list[int]] = []
+        super().__init__(pairs)
         self._lags: list[list[int]] = []
-        self._unscheduled: list[bool] = []
+
+    def _make_order(self, u: int, v: int) -> list[int]:
+        p = self.instance.p
+        n = self.instance.n_jobs
+        lag = [sum(p[k][j] for k in range(u + 1, v)) for j in range(n)]
+        self._lags.append(lag)
+        return lag_order(p[u], p[v], lag)
+
+    def _kernel_lags(self):
+        return np.asarray(self._lags, dtype=np.int64)
 
     def _precompute(self) -> None:
-        from .johnson import lag_order
-        m = self.instance.n_machines
-        n = self.instance.n_jobs
-        spec = self.pairs_spec
-        if spec == "adjacent":
-            self.pairs = [(u, u + 1) for u in range(m - 1)]
-        elif spec == "last":
-            self.pairs = [(u, m - 1) for u in range(m - 1)]
-        elif spec == "all":
-            self.pairs = [(u, v) for u in range(m) for v in range(u + 1, m)]
-        elif isinstance(spec, list):
-            for u, v in spec:
-                if not (0 <= u < v < m):
-                    raise SimConfigError(f"bad machine pair ({u}, {v})")
-            self.pairs = list(spec)
-        else:
-            raise SimConfigError(f"bad pairs spec {spec!r}")
-        if not self.pairs:
-            raise SimConfigError("JohnsonLagBound needs >= 1 machine pair")
-        p = self.instance.p
         self._lags = []
-        self._orders = []
-        for u, v in self.pairs:
-            lag = [sum(p[k][j] for k in range(u + 1, v)) for j in range(n)]
-            self._lags.append(lag)
-            self._orders.append(lag_order(p[u], p[v], lag))
-
-    def set_mask(self, unscheduled: list[bool]) -> None:
-        self._unscheduled = unscheduled
-
-    def frame(self, remaining: Sequence[int]) -> list[int]:
-        tails = self.instance.tails
-        return [min(tails[v][j] for j in remaining)
-                for _, v in self.pairs]
+        super()._precompute()
 
     def child(self, front, job, frame_data, rem_sum) -> int:
         p = self.instance.p
-        mask = self._unscheduled
+        mask = self._mask
         best = front[-1] + rem_sum[-1]
         for k, (u, v) in enumerate(self.pairs):
             if rem_sum[u] == 0:
@@ -302,6 +453,7 @@ class MaxBound(LowerBound):
 
     def attach(self, instance: FlowshopInstance) -> "MaxBound":
         self.instance = instance
+        self._cache = {}
         for c in self.components:
             c.attach(instance)
         return self
@@ -313,10 +465,20 @@ class MaxBound(LowerBound):
         return max(c.child(front, job, fd, rem_sum)
                    for c, fd in zip(self.components, frame_data))
 
+    def _frame_tables(self, jobs, rsT):
+        return [c._frame_tables(jobs, rsT) for c in self.components]
+
+    def _frame_eval(self, tables, g, rsT):
+        comps = self.components
+        out = comps[0]._frame_eval(tables[0], g, rsT)
+        for c, t in zip(comps[1:], tables[1:]):
+            np.maximum(out, c._frame_eval(t, g, rsT), out=out)
+        return out
+
     def set_mask(self, unscheduled: list[bool]) -> None:
+        self._mask = unscheduled
         for c in self.components:
-            if hasattr(c, "set_mask"):
-                c.set_mask(unscheduled)
+            c.set_mask(unscheduled)
 
 
 def get_bound(name: str) -> LowerBound:

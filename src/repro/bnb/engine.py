@@ -12,16 +12,37 @@ done, everything right is pending), pausing, splitting and resuming work
 costs one O(n²) path rebuild per resume — the property that makes the
 Mezmaz-style encoding so cheap to balance.
 
+Child enumeration runs in one of two modes:
+
+* ``batch=True`` (default) — when a frame's first child is enumerated, the
+  bounds of *all* its children are computed in one vectorised
+  ``LowerBound.children_cached`` call (:mod:`repro.bnb.kernels`): child
+  fronts come back as a matrix whose rows seed the children that are
+  entered, and every front-independent quantity is cached per unscheduled
+  subset (tracked as a bitmask), which the DFS revisits constantly;
+* ``batch=False`` — the scalar reference path: one ``LowerBound.child``
+  call per enumerated child, exactly the pre-kernel implementation.
+
+Both modes visit the same nodes, count the same nodes and find the same
+optima — the kernels are integer-exact (golden-tested in
+``tests/test_bnb_kernels.py``).
+
 Node accounting: one unit per lower-bound evaluation or complete
 permutation evaluated. This is the quantity the simulation prices with
-``unit_cost`` and the quantity reported as "explored nodes".
+``unit_cost`` and the quantity reported as "explored nodes". A batched
+frame may *compute* bounds for children the budget never reaches; only
+enumerated children are counted, keeping counts independent of batching
+and of the quantum size.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..sim.errors import SimConfigError
+from . import kernels
 from .bounds import LowerBound, get_bound
 from .flowshop import FlowshopInstance
 from .interval import factorials, position_to_digits
@@ -41,24 +62,30 @@ class ExploreResult:
 class _Frame:
     """One DFS stack level: the node whose children are being enumerated."""
 
-    __slots__ = ("entry_job", "front", "remaining", "rank", "frame_data")
+    __slots__ = ("entry_job", "front", "remaining", "rank", "frame_data",
+                 "key", "lbs", "fronts")
 
-    def __init__(self, entry_job, front, remaining, rank, frame_data):
+    def __init__(self, entry_job, front, remaining, rank, frame_data, key=0):
         self.entry_job = entry_job    # job scheduled to create this node
         self.front = front            # machine completion times of the prefix
         self.remaining = remaining    # unscheduled jobs, ascending
         self.rank = rank              # next child index to enumerate
-        self.frame_data = frame_data  # bound's per-frame precomputation
+        self.frame_data = frame_data  # bound's per-frame data (scalar mode)
+        self.key = key                # bitmask of remaining (batch mode)
+        self.lbs = None               # batched child bounds (lazy, batch mode)
+        self.fronts = None            # batched child fronts (lazy, batch mode)
 
 
 class BnBEngine:
     """Explorer bound to one instance + lower bound (see module docstring)."""
 
     def __init__(self, instance: FlowshopInstance,
-                 bound: LowerBound | str = "lb1") -> None:
+                 bound: LowerBound | str = "lb1",
+                 batch: bool = True) -> None:
         self.instance = instance
         self.bound = get_bound(bound) if isinstance(bound, str) else bound
         self.bound.attach(instance)
+        self.batch = batch
         self.n = instance.n_jobs
         self.m = instance.n_machines
         self.fact = factorials(self.n)
@@ -150,10 +177,21 @@ class BnBEngine:
         out: list[tuple[int, int]] = []
         child_width = self.fact[n - d - 1]
         bound = self.bound
-        set_mask = getattr(bound, "set_mask", None)
         mask = [j in remaining for j in range(n)]
-        if set_mask is not None:
-            set_mask(mask)
+        bound.set_mask(mask)
+        if self.batch and len(remaining) > 1:
+            # one vectorised call bounds every child; no leaves at this depth
+            key = 0
+            for j in remaining:
+                key |= 1 << j
+            lbs, _ = bound.children_cached(key, front, remaining)
+            lbs = lbs.tolist()
+            for rank in range(len(remaining)):
+                nodes += 1
+                if lbs[rank] < ub:
+                    start = a + rank * child_width
+                    out.append((start, start + child_width))
+            return out, nodes, improved
         fd = bound.frame(remaining)
         rem_sum = [sum(self._p[i][j] for j in remaining) for i in range(m)]
         for rank, j in enumerate(remaining):
@@ -183,11 +221,10 @@ class BnBEngine:
         p = self._p
         fact = self.fact
         bound = self.bound
+        batch = self.batch
         unscheduled = [True] * n
         rem_sum = [sum(row) for row in p]
-        set_mask = getattr(bound, "set_mask", None)
-        if set_mask is not None:
-            set_mask(unscheduled)
+        bound.set_mask(unscheduled)
 
         # -- rebuild the DFS stack from the factoradic digits of `a` --
         #
@@ -199,7 +236,8 @@ class BnBEngine:
         # fresh and must be enumerated (and bounded!) by the normal DFS, so
         # the rebuild stops there with rank = digit. Path nodes are rebuilt
         # without bound evaluations and without counting: they were counted
-        # when first entered, wherever that happened.
+        # when first entered, wherever that happened. (In batch mode even
+        # the frame() precomputation is deferred to first enumeration.)
         digits = position_to_digits(a, n)
         deepest = -1
         for d in range(n):
@@ -207,6 +245,7 @@ class BnBEngine:
                 deepest = d
         remaining = list(range(n))
         front = [0] * m
+        key = (1 << n) - 1
         frames: list[_Frame] = []
         path_jobs: list[int] = []
         for d in range(max(0, deepest) + 1):
@@ -216,7 +255,8 @@ class BnBEngine:
                 front=front,
                 remaining=remaining,
                 rank=digits[d] if fresh else digits[d] + 1,
-                frame_data=bound.frame(remaining),
+                frame_data=None if batch else bound.frame(remaining),
+                key=key,
             )
             frames.append(fr)
             if fresh:
@@ -224,8 +264,10 @@ class BnBEngine:
             job = remaining[digits[d]]
             path_jobs.append(job)
             unscheduled[job] = False
-            for i in range(m):
-                rem_sum[i] -= p[i][job]
+            key &= ~(1 << job)
+            if not batch:
+                for i in range(m):
+                    rem_sum[i] -= p[i][job]
             front = self.instance.advance(front, job)
             remaining = remaining[:digits[d]] + remaining[digits[d] + 1:]
 
@@ -251,12 +293,51 @@ class BnBEngine:
                 if path_jobs:
                     j = path_jobs.pop()
                     unscheduled[j] = True
-                    for i in range(m):
-                        rem_sum[i] += p[i][j]
+                    if not batch:
+                        for i in range(m):
+                            rem_sum[i] += p[i][j]
                 continue
             j = rem[fr.rank]
             fr.rank += 1
-            # child completion front
+            nodes += 1
+            if k == 1:
+                # complete permutation
+                cfront = fr.front
+                prev = 0
+                for i in range(m):
+                    fi = cfront[i]
+                    if prev < fi:
+                        prev = fi
+                    prev += p[i][j]
+                pos += 1
+                pause_ok = True
+                if prev < ub:
+                    ub = int(prev)
+                    shared.update(ub, tuple(path_jobs) + (j,))
+                    improved = True
+                continue
+            if batch:
+                if fr.lbs is None:
+                    # first enumeration of this frame: bound all children in
+                    # one subset-cached kernel call
+                    lbs, fronts = bound.children_cached(fr.key, fr.front, rem)
+                    fr.lbs = lbs.tolist()
+                    fr.fronts = fronts
+                idx = fr.rank - 1
+                if fr.lbs[idx] < ub:
+                    unscheduled[j] = False
+                    path_jobs.append(j)
+                    frames.append(_Frame(entry_job=j, front=fr.fronts[idx],
+                                         remaining=rem[:idx] + rem[fr.rank:],
+                                         rank=0, frame_data=None,
+                                         key=fr.key & ~(1 << j)))
+                    pause_ok = False
+                else:
+                    # prune: skip the child's whole leaf block
+                    pos += fact[k - 1]
+                    pause_ok = True
+                continue
+            # scalar reference path: child front + one bound call
             cfront = fr.front
             nf = [0] * m
             prev = 0
@@ -266,16 +347,6 @@ class BnBEngine:
                     prev = fi
                 prev += p[i][j]
                 nf[i] = prev
-            nodes += 1
-            if k == 1:
-                # complete permutation
-                pos += 1
-                pause_ok = True
-                if prev < ub:
-                    ub = prev
-                    shared.update(prev, tuple(path_jobs) + (j,))
-                    improved = True
-                continue
             unscheduled[j] = False
             for i in range(m):
                 rem_sum[i] -= p[i][j]

@@ -76,7 +76,8 @@ class WorkerProcess(SimProcess):
     def start(self) -> None:
         # everything starts through the event loop so subclass start() code
         # runs for every process before the first quantum fires
-        self.call_after(0.0, self._drain, tag=f"kick@{self.pid}")
+        self.call_after(0.0, self._drain,
+                        tag=f"kick@{self.pid}" if self.sim.debug else "")
 
     def finished(self) -> bool:
         return self.terminated
@@ -116,7 +117,7 @@ class WorkerProcess(SimProcess):
         self.occupy(duration,
                     lambda: self._quantum_done(outcome.units,
                                                outcome.improved),
-                    tag=f"quantum@{self.pid}")
+                    tag=f"quantum@{self.pid}" if self.sim.debug else "")
 
     def _quantum_done(self, units: int, improved: bool) -> None:
         self.sim.note_work_done()

@@ -28,14 +28,22 @@ class Simulator:
     a snapshot of the stuck processes — the simulator-level equivalent of a
     distributed deadlock, which in this repository always means a protocol
     bug (and is exactly what the termination-detection tests hunt for).
+
+    ``debug=True`` turns on event tagging: deliveries, handler slots,
+    timers and quanta get human-readable tags, so ``queue.snapshot_tags()``
+    (and the deadlock report built from it) names what is pending. Off by
+    default — tag strings are pure allocation overhead on the per-message
+    hot path, so none are built unless the flag is set.
     """
 
     def __init__(self, network: Optional[NetworkModel] = None, seed: int = 0,
-                 auto_place: bool = True) -> None:
+                 auto_place: bool = True, debug: bool = False) -> None:
         self.network = network if network is not None else uniform_network()
         self.seed = seed
+        self.debug = debug
         self.queue = EventQueue()
         self.processes: list[SimProcess] = []
+        self._arrive_fns: list = []
         self.stats = RunStats.create(0)
         self._auto_place = auto_place
         self._running = False
@@ -58,6 +66,7 @@ class Simulator:
                 "add processes in pid order")
         proc.sim = self
         self.processes.append(proc)
+        self._arrive_fns.append(proc._arrive)
         return proc
 
     @property
@@ -73,20 +82,28 @@ class Simulator:
     # -- transport -------------------------------------------------------------
 
     def transmit(self, msg: Message) -> None:
-        """Price and enqueue a message delivery."""
-        if not (0 <= msg.dst < len(self.processes)):
-            raise SimRuntimeError(f"message to unknown process {msg.dst}")
+        """Price and enqueue a message delivery.
+
+        Deliveries are pushed as (bound arrival method, message) pairs —
+        no closure per message — and carry a tag only when :attr:`debug`
+        is set.
+        """
+        dst = msg.dst
+        if not (0 <= dst < len(self.processes)):
+            raise SimRuntimeError(f"message to unknown process {dst}")
         src_stats = self.stats.per_process[msg.src]
         src_stats.msgs_sent += 1
         src_stats.bytes_sent += msg.size_bytes
-        msg.send_time = self.now
-        delay = self.network.delivery_delay(msg.src, msg.dst, msg.size_bytes)
-        chan = (msg.src, msg.dst)
-        arrive_at = max(self.now + delay, self._fifo.get(chan, 0.0))
+        now = self.queue.now
+        msg.send_time = now
+        delay = self.network.delivery_delay(msg.src, dst, msg.size_bytes)
+        chan = (msg.src, dst)
+        arrive_at = max(now + delay, self._fifo.get(chan, 0.0))
         self._fifo[chan] = arrive_at
-        dst_proc = self.processes[msg.dst]
-        self.queue.push(arrive_at, lambda: dst_proc._arrive(msg),
-                        tag=f"deliver:{msg.kind}->{msg.dst}")
+        self.queue.push(
+            arrive_at, self._arrive_fns[dst],
+            tag=f"deliver:{msg.kind}->{dst}" if self.debug else "",
+            arg=msg)
 
     # -- run --------------------------------------------------------------------
 
@@ -127,7 +144,11 @@ class Simulator:
             if ev is None:
                 break
             fired += 1
-            ev.action()
+            arg = ev.arg
+            if arg is not None:
+                ev.action(arg)
+            else:
+                ev.action()
         self._running = False
         self.stats.events_fired = fired
         self._finalize(truncated=self._stopped
@@ -139,10 +160,13 @@ class Simulator:
         unfinished = [p.pid for p in self.processes if not p.finished()]
         if unfinished and not truncated:
             pending = self.queue.snapshot_tags()[:10]
+            hint = "" if self.debug else \
+                " (run with debug=True for event tags)"
             raise SimDeadlockError(
                 f"event queue drained at t={self.now:.6f} with "
                 f"{len(unfinished)} unfinished processes "
-                f"(first: {unfinished[:10]}); pending events: {pending}")
+                f"(first: {unfinished[:10]}); pending events: {pending}"
+                + hint)
         self.stats.makespan = max(
             (p.finish_time for p in self.stats.per_process), default=self.now)
         if self.stats.makespan == 0.0:

@@ -4,39 +4,66 @@ An :class:`Event` is an opaque callback bound to a virtual time; the
 :class:`EventQueue` is a binary heap ordered by ``(time, seq)`` where ``seq``
 is a global insertion counter. The counter makes simultaneous events fire in
 insertion order, which is what makes whole-protocol runs bit-reproducible.
+
+Hot-path layout: the heap holds ``(time, seq, event)`` tuples so sift
+comparisons stay inside the C tuple comparator (``seq`` is unique, so two
+events are never compared), and :class:`Event` is a plain ``__slots__``
+class — pushing allocates one tuple and one small object, nothing else.
+An event may carry a single ``arg`` for its callback; schedulers use it to
+push a shared bound method plus per-event argument (e.g. ``(proc._arrive,
+msg)``) instead of allocating a closure per delivery.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from .errors import SimRuntimeError
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
     Attributes:
         time: virtual time (seconds) at which the event fires.
         seq: insertion sequence number; total order tie-break.
-        action: zero-argument callable executed when the event fires.
+        action: callable executed when the event fires — with ``arg`` when
+            ``arg`` is not None, else with no arguments.
+        arg: optional single argument for ``action``.
         cancelled: cooperative-cancellation flag; cancelled events are
             skipped by the queue (lazy deletion).
-        tag: free-form debugging label.
+        tag: free-form debugging label (empty unless the scheduler runs
+            with tracing on).
     """
 
-    time: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    tag: str = field(default="", compare=False)
+    __slots__ = ("time", "seq", "action", "arg", "cancelled", "tag")
+
+    def __init__(self, time: float, seq: int,
+                 action: Callable[..., None],
+                 arg: Any = None, tag: str = "") -> None:
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.arg = arg
+        self.cancelled = False
+        self.tag = tag
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when popped."""
         self.cancelled = True
+
+    def fire(self) -> None:
+        """Run the callback (with ``arg`` when present)."""
+        if self.arg is not None:
+            self.action(self.arg)
+        else:
+            self.action()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = " cancelled" if self.cancelled else ""
+        label = f" tag={self.tag!r}" if self.tag else ""
+        return f"<Event t={self.time:.6f} seq={self.seq}{label}{flags}>"
 
 
 class EventQueue:
@@ -49,7 +76,7 @@ class EventQueue:
     __slots__ = ("_heap", "_seq", "_now", "pushed", "fired", "skipped")
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._now = 0.0
         self.pushed = 0
@@ -67,37 +94,46 @@ class EventQueue:
     def __bool__(self) -> bool:
         return bool(self._heap)
 
-    def push(self, time: float, action: Callable[[], None], tag: str = "") -> Event:
-        """Schedule ``action`` at virtual ``time``; returns a cancellable handle."""
+    def push(self, time: float, action: Callable[..., None], tag: str = "",
+             arg: Any = None) -> Event:
+        """Schedule ``action`` at virtual ``time``; returns a cancellable handle.
+
+        ``arg``, when given, is passed to ``action`` at fire time — the
+        zero-allocation alternative to binding it in a lambda.
+        """
         if time < self._now:
             raise SimRuntimeError(
                 f"cannot schedule event at t={time:.9f} before current t={self._now:.9f}"
                 + (f" (tag={tag!r})" if tag else "")
             )
-        ev = Event(time, self._seq, action, tag=tag)
-        self._seq += 1
-        heapq.heappush(self._heap, ev)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(time, seq, action, arg, tag)
+        heapq.heappush(self._heap, (time, seq, ev))
         self.pushed += 1
         return ev
 
     def pop(self) -> Optional[Event]:
         """Pop the next live event, advancing ``now``; None when drained."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            ev = entry[2]
             if ev.cancelled:
                 self.skipped += 1
                 continue
-            self._now = ev.time
+            self._now = entry[0]
             self.fired += 1
             return ev
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event without popping it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
             self.skipped += 1
-        return self._heap[0].time if self._heap else None
+        return heap[0][0] if heap else None
 
     def clear(self) -> None:
         """Drop every pending event."""
@@ -105,7 +141,7 @@ class EventQueue:
 
     def snapshot_tags(self) -> list[tuple[float, str]]:
         """Sorted (time, tag) of live events; debugging aid for deadlocks."""
-        return sorted((e.time, e.tag) for e in self._heap if not e.cancelled)
+        return sorted((t, e.tag) for t, _, e in self._heap if not e.cancelled)
 
 
 __all__ = ["Event", "EventQueue"]

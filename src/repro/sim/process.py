@@ -91,7 +91,9 @@ class SimProcess:
 
     def call_at(self, time: float, fn: Callable[[], None], tag: str = "") -> Event:
         """Schedule a zero-cost callback at absolute virtual ``time``."""
-        return self.sim.queue.push(time, fn, tag=tag or f"timer@{self.pid}")
+        if not tag and self.sim.debug:
+            tag = f"timer@{self.pid}"
+        return self.sim.queue.push(time, fn, tag=tag)
 
     def call_after(self, delay: float, fn: Callable[[], None], tag: str = "") -> Event:
         """Schedule a zero-cost callback ``delay`` seconds from now."""
@@ -110,15 +112,18 @@ class SimProcess:
         if duration < 0:
             raise SimRuntimeError(f"process {self.pid}: negative occupy {duration}")
         self._cpu_busy = True
+        sim = self.sim
+        if not tag and sim.debug:
+            tag = f"occupy@{self.pid}"
+        self._occupy_event = sim.queue.push(sim.queue.now + duration,
+                                            self._occupy_done, tag=tag,
+                                            arg=done)
 
-        def _complete() -> None:
-            self._occupy_event = None
-            self._cpu_busy = False
-            done()
-            self._drain()
-
-        self._occupy_event = self.call_after(duration, _complete,
-                                             tag=tag or f"occupy@{self.pid}")
+    def _occupy_done(self, done: Callable[[], None]) -> None:
+        self._occupy_event = None
+        self._cpu_busy = False
+        done()
+        self._drain()
 
     # -- engine-facing internals ----------------------------------------------
 
@@ -139,16 +144,18 @@ class SimProcess:
             self.on_cpu_free()
             return
         msg = self._inbox.popleft()
-        cost = self.sim.network.handler_cost
+        sim = self.sim
         self._cpu_busy = True
+        sim.queue.push(
+            sim.queue.now + sim.network.handler_cost, self._handled,
+            tag=f"handle:{msg.kind}@{self.pid}" if sim.debug else "",
+            arg=msg)
 
-        def _handled() -> None:
-            self._cpu_busy = False
-            self.stats.handler_time += cost
-            self.on_message(msg)
-            self._drain()
-
-        self.call_after(cost, _handled, tag=f"handle:{msg.kind}@{self.pid}")
+    def _handled(self, msg: Message) -> None:
+        self._cpu_busy = False
+        self.stats.handler_time += self.sim.network.handler_cost
+        self.on_message(msg)
+        self._drain()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} pid={self.pid}>"

@@ -1,0 +1,147 @@
+"""Golden tests for the vectorised bound-kernel layer.
+
+The batched paths (``LowerBound.children`` / ``children_cached`` and the
+engine's ``batch=True`` enumeration) must be *bit-identical* to the scalar
+``frame``/``child`` reference: same bounds, same explored-node counts, same
+optima. These tests pin that contract on every scaled Taillard instance and
+every shipped bound family.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bnb.bounds import JohnsonPairBound, get_bound
+from repro.bnb.engine import BnBEngine
+from repro.bnb.interval import tree_leaves
+from repro.bnb.state import BoundState
+from repro.bnb.taillard import scaled_instance
+from repro.bnb.work import BnBWork
+
+BOUNDS = ["lb1", "johnson:adjacent", "llrk", "llrk-full"]
+
+
+# -- full-solve golden equivalence: all ten scaled Taillard instances ---------
+
+@pytest.mark.parametrize("idx", range(1, 11))
+@pytest.mark.parametrize("bound", BOUNDS)
+def test_batch_solve_bit_identical(idx, bound):
+    """Ta2{idx}s: batched solve == scalar solve (value, perm, node count)."""
+    inst = scaled_instance(idx, n_jobs=8, n_machines=10)
+    batched = BnBEngine(inst, bound=bound, batch=True).solve()
+    scalar = BnBEngine(inst, bound=bound, batch=False).solve()
+    assert batched == scalar
+
+
+def test_batch_explore_bit_identical_10x10():
+    """Budgeted exploration on a 10x10 matches the scalar path step by step."""
+    inst = scaled_instance(1, n_jobs=10, n_machines=10)
+    for bound in BOUNDS:
+        eb = BnBEngine(inst, bound=bound, batch=True)
+        es = BnBEngine(inst, bound=bound, batch=False)
+        wb, ws = BnBWork.full_tree(10), BnBWork.full_tree(10)
+        sb, ss = BoundState(), BoundState()
+        for _ in range(4):
+            rb = eb.explore(wb, sb, 5_000)
+            rs = es.explore(ws, ss, 5_000)
+            assert (rb.nodes, rb.improved, rb.exhausted) == \
+                   (rs.nodes, rs.improved, rs.exhausted)
+            assert sb.value == ss.value
+            assert wb.intervals == ws.intervals
+
+
+# -- children(): direct comparison against the scalar child() loop -----------
+
+@pytest.mark.parametrize("bound_name", BOUNDS + ["trivial", "johnson-lag:all"])
+def test_children_matches_scalar_child_loop(bound_name):
+    inst = scaled_instance(3, n_jobs=9, n_machines=10)
+    bound = get_bound(bound_name).attach(inst)
+    ref = get_bound(bound_name).attach(inst)
+    n, m = inst.n_jobs, inst.n_machines
+
+    front = [0] * m
+    scheduled = [4, 0]
+    for j in scheduled:
+        front = inst.advance(front, j)
+    remaining = [j for j in range(n) if j not in scheduled]
+    rem_sum = [sum(inst.p[i][j] for j in remaining) for i in range(m)]
+
+    batched = bound.children(front, remaining, None, rem_sum)
+
+    mask = [j in remaining for j in range(n)]
+    scalar = []
+    for child in remaining:
+        fd = ref.frame(remaining)
+        cf = inst.advance(front, child)
+        crs = [rem_sum[i] - inst.p[i][child] for i in range(m)]
+        mask[child] = False
+        ref.set_mask(mask)
+        scalar.append(ref.child(cf, child, fd, crs))
+        mask[child] = True
+    assert batched.tolist() == scalar
+
+
+@pytest.mark.parametrize("bound_name", BOUNDS)
+def test_children_cached_consistent_across_revisits(bound_name):
+    """Cached subset tables give the same answer as the uncached call."""
+    inst = scaled_instance(5, n_jobs=8, n_machines=10)
+    bound = get_bound(bound_name).attach(inst)
+    n, m = inst.n_jobs, inst.n_machines
+    for scheduled in ([0], [1], [0, 3], [3, 0], [5, 2, 7]):
+        front = [0] * m
+        for j in scheduled:
+            front = inst.advance(front, j)
+        remaining = [j for j in range(n) if j not in scheduled]
+        key = 0
+        for j in remaining:
+            key |= 1 << j
+        rem_sum = [sum(inst.p[i][j] for j in remaining) for i in range(m)]
+        for _ in range(2):  # second pass hits the subset cache
+            lbs, fronts = bound.children_cached(key, front, remaining)
+            direct = bound.children(front, remaining, None, rem_sum)
+            assert lbs.tolist() == direct.tolist()
+            expected = np.array([inst.advance(front, j) for j in remaining])
+            assert fronts.tolist() == expected.tolist()
+
+
+# -- decompose_block: batch path == scalar path --------------------------------
+
+def test_decompose_block_bit_identical():
+    inst = scaled_instance(2, n_jobs=10, n_machines=10)
+    width = tree_leaves(10)
+    for bound in BOUNDS:
+        eb = BnBEngine(inst, bound=bound, batch=True)
+        es = BnBEngine(inst, bound=bound, batch=False)
+        blocks_b = eb.decompose_block(0, BoundState(), width)
+        blocks_s = es.decompose_block(0, BoundState(), width)
+        assert blocks_b == blocks_s
+
+
+# -- regression: per-engine bound state must not be shared --------------------
+
+def test_two_engines_do_not_share_bound_state():
+    """JohnsonPairBound masks/caches are per-instance, not class-level."""
+    inst_a = scaled_instance(1, n_jobs=8, n_machines=10)
+    inst_b = scaled_instance(7, n_jobs=8, n_machines=10)
+
+    ref_a = BnBEngine(inst_a, bound="llrk").solve()
+    ref_b = BnBEngine(inst_b, bound="llrk").solve()
+
+    # interleave two live engines on different instances
+    ea = BnBEngine(inst_a, bound="llrk")
+    eb = BnBEngine(inst_b, bound="llrk")
+    wa, wb = BnBWork.full_tree(8), BnBWork.full_tree(8)
+    sa, sb = BoundState(), BoundState()
+    while True:
+        ra = ea.explore(wa, sa, 500)
+        rb = eb.explore(wb, sb, 500)
+        if ra.exhausted and rb.exhausted:
+            break
+    assert sa.value == ref_a[0]
+    assert sb.value == ref_b[0]
+
+    # the scalar mask path, interleaved, must also stay independent
+    ba = JohnsonPairBound("adjacent").attach(inst_a)
+    bb = JohnsonPairBound("adjacent").attach(inst_b)
+    ba.set_mask([True] * 8)
+    bb.set_mask([False] * 8)
+    assert ba._mask != bb._mask

@@ -138,6 +138,54 @@ def test_deadlock_detection():
         sim.run()
 
 
+def test_debug_tags_off_by_default():
+    """Hot-path events carry no tag strings unless debug is on."""
+    sim = Simulator(_net())
+    sim.add_process(Sender(0, 1, ["A", "B"]))
+    sim.add_process(Sink(1))
+    sim.run(max_events=0)
+    assert len(sim.queue) > 0
+    assert all(tag == "" for _, tag in sim.queue.snapshot_tags())
+
+
+def test_debug_tags_name_pending_events():
+    """With debug=True, snapshot_tags names every pending hot-path event."""
+    class Pinger(SimProcess):
+        def start(self):
+            self.send(0, "PING")
+            self.call_after(1.0, lambda: None)
+
+    sim = Simulator(_net(), debug=True)
+    sim.add_process(Pinger(0))
+    sim.run(max_events=0)
+    tags = [tag for _, tag in sim.queue.snapshot_tags()]
+    assert any(tag.startswith("deliver:PING") for tag in tags)
+    assert any(tag.startswith("timer@") for tag in tags)
+
+
+def test_deadlock_report_hints_at_debug_flag():
+    class Stuck(SimProcess):
+        def finished(self):
+            return False
+
+    sim = Simulator(_net())
+    sim.add_process(Stuck(0))
+    with pytest.raises(SimDeadlockError) as exc:
+        sim.run()
+    assert "debug=True" in str(exc.value)
+
+
+def test_message_has_no_dict():
+    msg = Message(0, 1, "A")
+    assert not hasattr(msg, "__dict__")
+    with pytest.raises(AttributeError):
+        msg.extra = 1
+    assert Message(0, 1, "A", size_bytes=1).size_bytes >= 64
+    # equality ignores send_time (stamped in transit)
+    a, b = Message(0, 1, "A"), Message(0, 1, "A", send_time=5.0)
+    assert a == b
+
+
 def test_max_time_truncates_without_deadlock_error():
     class Ticker(SimProcess):
         def start(self):
