@@ -1,19 +1,28 @@
-"""Record kernel throughput against the pre-overhaul baseline.
+"""Record kernel and harness performance against their baselines.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/record.py
+    PYTHONPATH=src python benchmarks/record.py            # kernel hot paths
+    PYTHONPATH=src python benchmarks/record.py harness    # parallel runner
 
-Re-measures the hot paths touched by the vectorised-kernel overhaul and
-writes ``BENCH_kernels.json`` next to this file with before/after/speedup
-per metric. The BASELINE numbers were captured at the seed commit with the
-same methodology (same instances, budgets and best-of-N repeats as below),
-so the speedup column is apples-to-apples on the recording machine.
+The default (``kernels``) mode re-measures the hot paths touched by the
+vectorised-kernel overhaul and writes ``BENCH_kernels.json`` next to this
+file with before/after/speedup per metric. The BASELINE numbers were
+captured at the seed commit with the same methodology (same instances,
+budgets and best-of-N repeats as below), so the speedup column is
+apples-to-apples on the recording machine.
+
+The ``harness`` mode times one compare-style experiment grid three ways —
+serial loop, multiprocess pool (``--jobs``, default all cores), and a warm
+cache rerun — and writes ``BENCH_harness.json``. The serial measurement is
+the baseline the speedups are computed against.
 """
 
 import json
+import os
 import pathlib
 import platform
+import tempfile
 import time
 
 from repro.bnb.engine import BnBEngine
@@ -83,7 +92,68 @@ def uts_rate():
     return nodes / dt
 
 
-def main():
+def harness_grid():
+    """A compare-style grid: 2 apps x 2 protocols x 2 sizes x 2 trials."""
+    from repro.experiments.runner import RunConfig, cell_configs
+    from repro.experiments.specs import BnBSpec, UTSSpec
+    from repro.uts.params import PRESETS
+
+    specs = ((UTSSpec(PRESETS["bin_small"].params), ("BTD", "RWS")),
+             (BnBSpec(1, n_jobs=8, n_machines=8), ("BTD", "MW")))
+    cells = []
+    for spec, protocols in specs:
+        for proto in protocols:
+            for n in (16, 32):
+                cfg = RunConfig(protocol=proto, n=n, quantum=64, seed=42)
+                cells.extend((c, spec) for c in cell_configs(cfg, 2))
+    return cells
+
+
+def harness(jobs=0):
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.parallel import resolve_jobs, run_cells
+
+    jobs = resolve_jobs(jobs)   # 0 -> all cores
+    cells = harness_grid()
+
+    t0 = time.perf_counter()
+    serial = run_cells(cells, jobs=1, use_cache=False)
+    serial_s = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(pathlib.Path(tmp))
+        t0 = time.perf_counter()
+        parallel = run_cells(cells, jobs=jobs, cache=cache)
+        parallel_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        cached = run_cells(cells, jobs=jobs, cache=cache)
+        cached_s = time.perf_counter() - t0
+        assert cache.hits >= len(cells), "warm rerun must be pure hits"
+
+    assert serial == parallel == cached, "paths must be bit-identical"
+    report = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cores": os.cpu_count(),
+        "jobs": jobs,
+        "cells": len(cells),
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "cached_s": round(cached_s, 3),
+        "parallel_speedup": round(serial_s / parallel_s, 2),
+        "cached_speedup": round(serial_s / cached_s, 2),
+    }
+    out = pathlib.Path(__file__).with_name("BENCH_harness.json")
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"{len(cells)} cells on {report['cores']} core(s), jobs={jobs}")
+    print(f"serial   {serial_s:8.3f}s")
+    print(f"parallel {parallel_s:8.3f}s ({report['parallel_speedup']:.2f}x)")
+    print(f"cached   {cached_s:8.3f}s ({report['cached_speedup']:.2f}x)")
+    print(f"wrote {out}")
+
+
+def kernels():
     after = {
         "event_queue_ops_per_s": round(event_queue_rate()),
         "bnb_lb1_nodes_per_s": round(bnb_rate("lb1")),
@@ -109,6 +179,20 @@ def main():
         print(f"{name:32s} {row['before']:>12,} -> {row['after']:>12,} "
               f"({row['speedup']:.2f}x)")
     print(f"wrote {out}")
+
+
+def main(argv=None):
+    import argparse
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("mode", nargs="?", default="kernels",
+                        choices=("kernels", "harness"))
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="pool size for harness mode (0 = all cores)")
+    args = parser.parse_args(argv)
+    if args.mode == "harness":
+        harness(args.jobs)
+    else:
+        kernels()
 
 
 if __name__ == "__main__":

@@ -29,21 +29,27 @@ class BnBApplication(Application):
     ``warm_start=True`` seeds every worker's bound state with the NEH
     heuristic solution — the regime-preserving default of the experiment
     harness (see :mod:`repro.bnb.neh`); cold (from-scratch, as the paper
-    words it) is the constructor default.
+    words it) is the constructor default.  ``neh`` optionally supplies a
+    precomputed ``(makespan, permutation)`` NEH solution — the parallel
+    grid runner ships it to pool workers so they do not redo the
+    heuristic per cell.
     """
 
     def __init__(self, instance: FlowshopInstance,
                  bound: LowerBound | str = "lb1",
                  unit_cost: float = BNB_UNIT_COST,
-                 warm_start: bool = False) -> None:
+                 warm_start: bool = False,
+                 neh: tuple[int, list[int]] | None = None) -> None:
         self.instance = instance
         self.engine = BnBEngine(instance, bound=bound)
         self.unit_cost = unit_cost
         self.warm_start = warm_start
         self._neh: tuple[int, list[int]] | None = None
         if warm_start:
-            from ..bnb.neh import neh
-            self._neh = neh(instance)
+            if neh is None:
+                from ..bnb.neh import neh as neh_heuristic
+                neh = neh_heuristic(instance)
+            self._neh = neh
         self.name = f"B&B[{instance.name}]"
 
     def initial_work(self) -> BnBWork:

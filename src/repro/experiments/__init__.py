@@ -1,18 +1,25 @@
 """Reproduction harness: one module per table/figure of the paper.
 
 ``python -m repro.experiments --all --scale quick`` regenerates everything;
-see :mod:`repro.experiments.registry` for the experiment index and
-DESIGN.md §4 for what each one shows.
+``--jobs N`` fans the grids out over N worker processes and finished cells
+are memoised on disk (``--no-cache`` to disable).  See
+:mod:`repro.experiments.registry` for the experiment index,
+:mod:`repro.experiments.parallel` for the grid runner and DESIGN.md §4 for
+what each experiment shows.
 """
 
 from .base import ExperimentReport
+from .cache import ResultCache
 from .config import SCALES, Scale, get_scale
+from .parallel import ExperimentGrid, run_cells
 from .registry import EXPERIMENTS, ORDER, get_experiment
 from .runner import (PROTOCOLS, ExperimentResult, RunConfig, TrialStats,
-                     build_workers, run_once, run_trials)
+                     build_workers, cell_configs, run_once, run_trials)
+from .specs import BnBSpec, UTSSpec
 
 __all__ = [
     "ExperimentReport", "Scale", "SCALES", "get_scale", "EXPERIMENTS",
     "ORDER", "get_experiment", "RunConfig", "ExperimentResult", "TrialStats",
-    "PROTOCOLS", "build_workers", "run_once", "run_trials",
+    "PROTOCOLS", "build_workers", "cell_configs", "run_once", "run_trials",
+    "ExperimentGrid", "ResultCache", "run_cells", "BnBSpec", "UTSSpec",
 ]

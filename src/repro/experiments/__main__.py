@@ -31,6 +31,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="override the scale's trial count")
     parser.add_argument("--seed", type=int, default=None,
                         help="override the scale's base seed")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the experiment grids "
+                             "(default: $REPRO_JOBS or 1; 0 = all cores)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
     parser.add_argument("--out", default=None,
                         help="also append the reports to this file")
     parser.add_argument("--json", default=None,
@@ -46,6 +51,8 @@ def main(argv: list[str] | None = None) -> int:
     ids = list(ORDER) if args.all else args.experiments
     if not ids:
         parser.error("give experiment ids or --all (see --list)")
+    from .parallel import configure
+    configure(jobs=args.jobs, use_cache=False if args.no_cache else None)
     scale = get_scale(args.scale)
     if args.trials is not None or args.seed is not None:
         import dataclasses

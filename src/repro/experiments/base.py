@@ -9,6 +9,7 @@ from typing import Callable
 
 from ..apps.base import Application
 from .config import Scale
+from .parallel import ExperimentGrid
 from .report import banner
 from .runner import RunConfig, TrialStats, run_trials
 
@@ -56,11 +57,32 @@ def progress(msg: str) -> None:
     print(f"    .. {msg}", file=sys.stderr, flush=True)
 
 
+def cell_progress(done: int, total: int, label: str) -> None:
+    """Cell-level progress line of the grid runner (one per finished cell)."""
+    progress(f"[{done}/{total}] {label}")
+
+
+def make_grid(scale: Scale, jobs: int | None = None,
+              use_cache: bool | None = None) -> ExperimentGrid:
+    """A grid runner preconfigured with the scale's seed and trial count.
+
+    The generators declare every configuration with :meth:`~.ExperimentGrid
+    .add`, then one :meth:`~.ExperimentGrid.run` executes the whole grid —
+    over the process pool when ``--jobs``/``$REPRO_JOBS`` asks for it,
+    reporting each finished cell through :func:`cell_progress`.
+    """
+    return ExperimentGrid(seed=scale.seed, default_trials=scale.trials,
+                          jobs=jobs, use_cache=use_cache,
+                          progress=cell_progress)
+
+
 def trial_stats(scale: Scale, app_factory: Callable[[], Application],
                 trials: int | None = None, **cfg_kwargs) -> TrialStats:
     """Run seeded trials of one configuration (default: ``scale.trials``)."""
     cfg = RunConfig(seed=scale.seed, **cfg_kwargs)
-    return run_trials(cfg, app_factory, trials or scale.trials)
+    return run_trials(cfg, app_factory, trials or scale.trials,
+                      progress=cell_progress)
 
 
-__all__ = ["ExperimentReport", "timed", "progress", "trial_stats"]
+__all__ = ["ExperimentReport", "cell_progress", "make_grid", "progress",
+           "timed", "trial_stats"]

@@ -1,0 +1,172 @@
+"""Content-addressed disk cache for finished experiment cells.
+
+Every grid cell — one ``(RunConfig, trial)`` simulation — is memoised on
+disk under a SHA-256 key of everything that determines its outcome:
+
+* the full :class:`~repro.experiments.runner.RunConfig` (including a
+  structural description of the network model and the OCLB tunables),
+* the application spec's canonical :meth:`cache_key`,
+* a **code fingerprint**: a digest of every simulation-relevant source
+  file of the ``repro`` package.  Editing the simulator, a protocol, a
+  bound or an application invalidates the cache wholesale; editing docs,
+  reports or the figure generators does not — re-running a table after an
+  unrelated change is then pure cache hits.
+
+The simulator is bit-deterministic per seed, so a hit is exactly the
+result a fresh run would produce.  Entries are single pickle files in a
+fan-out directory (``<root>/<key[:2]>/<key>.pkl``), written atomically so
+concurrent grids can share one cache directory.  Unreadable or stale
+entries are treated as misses and rewritten.
+
+The cache root is ``$REPRO_CACHE_DIR`` when set, else
+``~/.cache/repro/experiments``; ``$REPRO_NO_CACHE=1`` (or the CLI's
+``--no-cache``) disables caching entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from ..sim.network import NetworkModel
+from .runner import ExperimentResult, RunConfig
+
+#: Bump to invalidate every existing cache entry (schema change, or a
+#: semantic change the code fingerprint cannot see, e.g. a data file).
+CACHE_EPOCH = 1
+
+#: Package subtrees whose source participates in the code fingerprint —
+#: everything a simulation outcome can depend on.  ``experiments`` is
+#: deliberately absent (report/generator edits must not invalidate) except
+#: for the files that define the run semantics themselves.
+_FINGERPRINT_SUBTREES = ("sim", "core", "overlay", "work", "uts", "bnb",
+                        "apps", "baselines")
+_FINGERPRINT_FILES = ("experiments/runner.py", "experiments/specs.py")
+
+_code_fingerprint: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Digest of the simulation-relevant ``repro`` sources (memoised)."""
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        pkg = Path(__file__).resolve().parent.parent
+        h = hashlib.sha256()
+        files: list[Path] = [pkg / rel for rel in _FINGERPRINT_FILES]
+        for sub in _FINGERPRINT_SUBTREES:
+            files.extend((pkg / sub).rglob("*.py"))
+        for f in sorted(files):
+            h.update(str(f.relative_to(pkg)).encode())
+            h.update(f.read_bytes())
+        _code_fingerprint = h.hexdigest()
+    return _code_fingerprint
+
+
+def cache_root() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro" / "experiments"
+
+
+def cache_disabled_by_env() -> bool:
+    return os.environ.get("REPRO_NO_CACHE", "").strip() not in ("", "0")
+
+
+def _network_desc(cfg: RunConfig) -> tuple:
+    net = cfg.network
+    if net is None:
+        # run_once substitutes grid5000(cfg.handler_cost, cfg.jitter);
+        # both knobs are already first-class key fields.
+        return ("grid5000-default",)
+    if isinstance(net, NetworkModel):
+        return ("custom",
+                tuple((c.name, c.cores) for c in net.clusters),
+                net.lat_intra, net.lat_inter, net.bandwidth,
+                net.handler_cost, net.jitter, net.c2_threshold)
+    raise TypeError(f"cannot describe network {type(net).__name__}")
+
+
+def _oclb_desc(cfg: RunConfig) -> tuple:
+    if cfg.oclb is None:
+        return ("default",)
+    return tuple(getattr(cfg.oclb, f.name)
+                 for f in dataclasses.fields(cfg.oclb))
+
+
+def cell_key(cfg: RunConfig, spec) -> str:
+    """The content hash addressing one ``(RunConfig, app spec)`` cell."""
+    payload = (
+        CACHE_EPOCH,
+        code_fingerprint(),
+        spec.cache_key(),
+        cfg.protocol, cfg.n, cfg.dmax, cfg.sharing, cfg.quantum, cfg.seed,
+        cfg.handler_cost, cfg.jitter, cfg.mw_update_every, cfg.max_events,
+        cfg.speed_spread, cfg.speed_placement,
+        _network_desc(cfg), _oclb_desc(cfg),
+    )
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+class ResultCache:
+    """Pickle-per-cell cache with hit/miss counters (see module docstring)."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else cache_root()
+        self.hits = 0
+        self.misses = 0
+        # best-effort: an unwritable cache dir degrades to "no cache",
+        # it never fails an experiment run
+        self._broken = False
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[ExperimentResult]:
+        try:
+            with open(self._path(key), "rb") as fh:
+                result = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return None
+        if not isinstance(result, ExperimentResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: ExperimentResult) -> None:
+        if self._broken:
+            return
+        path = self._path(key)
+        tmp = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            self._broken = True
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+        except BaseException:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            raise
+
+
+__all__ = ["CACHE_EPOCH", "ResultCache", "cache_disabled_by_env",
+           "cache_root", "cell_key", "code_fingerprint"]

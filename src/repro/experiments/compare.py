@@ -7,35 +7,41 @@ side::
     python -m repro.experiments.compare --protocols BTD RWS MW \\
         --app bnb:3 --n 32 128 --trials 2
     python -m repro.experiments.compare --protocols TD BTD LIFELINE \\
-        --app uts:bin_small --n 64 --quantum 256
+        --app uts:bin_small --n 64 --quantum 256 --jobs 4
 
 Workload specs: ``uts:<preset>`` (see ``repro.uts.PRESETS``) or
 ``bnb:<k>[:jobs[:machines]]`` for the scaled Taillard instance Ta(20+k),
-NEH warm-started.
+NEH warm-started.  The whole grid fans out over ``--jobs`` worker
+processes (default ``$REPRO_JOBS``), with finished cells memoised on disk
+unless ``--no-cache`` is given.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Callable
+from typing import Callable, Optional
 
 from ..apps.base import Application
-from ..apps.bnb_app import BnBApplication
-from ..apps.uts_app import UTSApplication
-from ..bnb.taillard import scaled_instance
 from ..sim.errors import SimConfigError
 from ..uts.params import get_preset
+from .parallel import ExperimentGrid
 from .report import render_table
-from .runner import PROTOCOLS, RunConfig, run_trials
+from .runner import PROTOCOLS
 from .seqref import sequential_time
+from .specs import AppSpec, BnBSpec, UTSSpec
 
 
-def parse_app(spec: str) -> Callable[[], Application]:
-    """Turn an ``uts:...`` / ``bnb:...`` spec into an application factory."""
+def parse_app(spec: str) -> AppSpec:
+    """Turn an ``uts:...`` / ``bnb:...`` spec string into an app spec.
+
+    The returned spec is callable (building the application), picklable
+    (the grid runner ships it to pool workers) and content-addressable
+    (the result cache keys on it).
+    """
     kind, _, rest = spec.partition(":")
     if kind == "uts":
         preset = get_preset(rest or "bin_small")
-        return lambda: UTSApplication(preset.params)
+        return UTSSpec(preset.params)
     if kind == "bnb":
         parts = [p for p in rest.split(":") if p]
         if not parts:
@@ -44,23 +50,35 @@ def parse_app(spec: str) -> Callable[[], Application]:
         idx = int(parts[0])
         jobs = int(parts[1]) if len(parts) > 1 else 10
         machines = int(parts[2]) if len(parts) > 2 else 10
-        inst = scaled_instance(idx, n_jobs=jobs, n_machines=machines)
-        return lambda: BnBApplication(inst, warm_start=True)
+        return BnBSpec(idx, n_jobs=jobs, n_machines=machines, warm_start=True)
     raise SimConfigError(f"unknown app spec {spec!r} (uts:<preset> | "
                          "bnb:<k>[:jobs[:machines]])")
 
 
 def compare(protocols: list[str], app_factory: Callable[[], Application],
             ns: list[int], quantum: int, trials: int, seed: int,
-            dmax: int = 10) -> list[list]:
-    """Run the grid; returns table rows (also the CLI's output)."""
-    t_seq = sequential_time(app_factory())
+            dmax: int = 10, jobs: Optional[int] = None,
+            use_cache: Optional[bool] = None,
+            app: Optional[Application] = None) -> list[list]:
+    """Run the grid; returns table rows (also the CLI's output).
+
+    ``app`` optionally passes an already-built application (reused for the
+    sequential reference instead of building a throwaway one).
+    """
+    if app is None:
+        app = app_factory()
+    t_seq = sequential_time(app)
+    grid = ExperimentGrid(seed=seed, default_trials=trials, jobs=jobs,
+                          use_cache=use_cache)
+    for n in ns:
+        for proto in protocols:
+            grid.add((n, proto), app_factory, protocol=proto, n=n, dmax=dmax,
+                     quantum=quantum)
+    grid.run()
     rows = []
     for n in ns:
         for proto in protocols:
-            ts = run_trials(RunConfig(protocol=proto, n=n, dmax=dmax,
-                                      quantum=quantum, seed=seed),
-                            app_factory, trials)
+            ts = grid.stats((n, proto))
             r0 = ts.results[0]
             optimum = r0.optimum
             rows.append([
@@ -86,15 +104,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--dmax", type=int, default=10)
     parser.add_argument("--trials", type=int, default=1)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the grid (default: "
+                             "$REPRO_JOBS or 1; 0 = all cores)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
     args = parser.parse_args(argv)
 
-    factory = parse_app(args.app)
-    rows = compare(args.protocols, factory, args.n, args.quantum,
-                   args.trials, args.seed, dmax=args.dmax)
+    spec = parse_app(args.app)
+    app = spec()   # built once: names the table AND prices the seq reference
+    rows = compare(args.protocols, spec, args.n, args.quantum,
+                   args.trials, args.seed, dmax=args.dmax, jobs=args.jobs,
+                   use_cache=False if args.no_cache else None, app=app)
     print(render_table(
         ["n", "protocol", "t_avg (ms)", "sigma (ms)", "PE %", "messages",
          "work requests", "optimum"],
-        rows, title=f"{factory().describe()} — {args.trials} trial(s)",
+        rows, title=f"{app.describe()} — {args.trials} trial(s)",
         digits=2))
     return 0
 

@@ -25,6 +25,7 @@ from ..apps.uts_app import UTSApplication
 from ..bnb.taillard import scaled_instance
 from ..sim.errors import SimConfigError
 from ..uts.params import PRESETS
+from .specs import BnBSpec, UTSSpec
 
 
 @dataclass(frozen=True)
@@ -103,17 +104,26 @@ def bnb_instances(scale: Scale, big: bool = False):
             for k in range(1, 11)]
 
 
+def bnb_spec(scale: Scale, index: int, big: bool = False) -> BnBSpec:
+    """Picklable spec for Ta(20+index) at this scale (NEH warm-started)."""
+    jobs, machines = scale.bnb_big if big else scale.bnb_std
+    return BnBSpec(index, n_jobs=jobs, n_machines=machines, warm_start=True)
+
+
+def uts_spec(scale: Scale, which: str = "main") -> UTSSpec:
+    """Picklable spec for the scale's UTS instance (main or fig2)."""
+    name = scale.uts_main if which == "main" else scale.uts_fig2
+    return UTSSpec(PRESETS[name].params)
+
+
 def bnb_app(scale: Scale, index: int, big: bool = False) -> BnBApplication:
     """Application for Ta(20+index) at this scale (NEH warm-started)."""
-    jobs, machines = scale.bnb_big if big else scale.bnb_std
-    inst = scaled_instance(index, n_jobs=jobs, n_machines=machines)
-    return BnBApplication(inst, warm_start=True)
+    return bnb_spec(scale, index, big=big).build()
 
 
 def uts_app(scale: Scale, which: str = "main") -> UTSApplication:
-    name = scale.uts_main if which == "main" else scale.uts_fig2
-    return UTSApplication(PRESETS[name].params)
+    return uts_spec(scale, which).build()
 
 
 __all__ = ["Scale", "SCALES", "get_scale", "bnb_instances", "bnb_app",
-           "uts_app"]
+           "bnb_spec", "uts_app", "uts_spec"]

@@ -10,10 +10,9 @@ as the degree grows.
 from __future__ import annotations
 
 from ..overlay.tree import deterministic_tree
-from .base import ExperimentReport, progress, timed, trial_stats
-from .config import Scale, bnb_app
+from .base import ExperimentReport, make_grid, timed
+from .config import Scale, bnb_spec
 from .report import Series, render_series, render_table
-from .runner import RunConfig, run_once
 
 DMAX_SWEEP = (2, 3, 4, 5, 6, 7, 8, 9, 10)
 BOTTOM_DMAX = (2, 5, 10)
@@ -29,17 +28,28 @@ def run(scale: Scale) -> ExperimentReport:
                          "interior nodes for larger dmax"),
         )
         n = scale.fig1_n
+        grid = make_grid(scale)
+        for idx, label in ((1, "Ta21"), (3, "Ta23")):
+            for dmax in DMAX_SWEEP:
+                grid.add(("top", label, dmax), bnb_spec(scale, idx, big=True),
+                         trials=scale.scaling_trials,
+                         label=f"fig1-top {label} dmax={dmax}",
+                         protocol="TD", n=n, dmax=dmax,
+                         quantum=scale.bnb_quantum)
+        for dmax in BOTTOM_DMAX:
+            grid.add(("bottom", dmax), bnb_spec(scale, 1, big=True),
+                     trials=1, label=f"fig1-bottom dmax={dmax}",
+                     protocol="TD", n=n, dmax=dmax,
+                     quantum=scale.bnb_quantum)
+        grid.run()
+
         # ---- top: time vs dmax ----
         series = []
         data_top = {}
         for idx, label in ((1, "Ta21"), (3, "Ta23")):
             s = Series(name=label)
             for dmax in DMAX_SWEEP:
-                progress(f"fig1-top {label} dmax={dmax}")
-                ts = trial_stats(scale, lambda: bnb_app(scale, idx, big=True),
-                                 trials=scale.scaling_trials,
-                                 protocol="TD", n=n, dmax=dmax,
-                                 quantum=scale.bnb_quantum)
+                ts = grid.stats(("top", label, dmax))
                 s.add(dmax, ts.t_avg * 1e3)
                 data_top[(label, dmax)] = ts
             series.append(s)
@@ -52,11 +62,7 @@ def run(scale: Scale) -> ExperimentReport:
         data_bottom = {}
         rows = []
         for dmax in BOTTOM_DMAX:
-            progress(f"fig1-bottom dmax={dmax}")
-            res = run_once(RunConfig(protocol="TD", n=n, dmax=dmax,
-                                     quantum=scale.bnb_quantum,
-                                     seed=scale.seed),
-                           bnb_app(scale, 1, big=True))
+            res = grid.result(("bottom", dmax))
             msgs = res.msgs_by_pid  # TD pids are BFS ids already
             tree = deterministic_tree(n, dmax)
             interior = [p for p in range(n) if tree.children[p]]

@@ -9,8 +9,8 @@ strategy beats steal-half across the board, on both metrics.
 
 from __future__ import annotations
 
-from .base import ExperimentReport, progress, timed, trial_stats
-from .config import Scale, bnb_app, uts_app
+from .base import ExperimentReport, make_grid, timed
+from .config import Scale, bnb_spec, uts_spec
 from .report import Series, render_series, render_table
 
 POLICIES = (("proportional", "TD-proportional"), ("half", "TD-steal-half"))
@@ -25,6 +25,21 @@ def run(scale: Scale) -> ExperimentReport:
                          "total work requests, for B&B and UTS alike; the "
                          "two metrics are correlated"),
         )
+        grid = make_grid(scale)
+        for idx in range(1, 11):
+            for policy, label in POLICIES:
+                grid.add(("bnb", idx, policy), bnb_spec(scale, idx),
+                         label=f"fig2 Ta{20 + idx} {label}",
+                         protocol="TD", n=scale.fig2_n, dmax=10,
+                         sharing=policy, quantum=scale.bnb_quantum)
+        for policy, label in POLICIES:
+            for n in scale.fig2_uts_n:
+                grid.add(("uts", policy, n), uts_spec(scale, "fig2"),
+                         label=f"fig2-uts {label} n={n}",
+                         protocol="TD", n=n, dmax=10,
+                         sharing=policy, quantum=scale.uts_quantum)
+        grid.run()
+
         # ---- top: ten B&B instances ----
         rows = []
         wins_t, wins_r = 0, 0
@@ -34,11 +49,9 @@ def run(scale: Scale) -> ExperimentReport:
             row = [name]
             per_policy = {}
             for policy, label in POLICIES:
-                progress(f"fig2 {name} {label}")
-                ts = trial_stats(scale, lambda: bnb_app(scale, idx),
-                                 protocol="TD", n=scale.fig2_n, dmax=10,
-                                 sharing=policy, quantum=scale.bnb_quantum)
-                steals = sum(r.total_steals for r in ts.results) / len(ts.results)
+                ts = grid.stats(("bnb", idx, policy))
+                steals = sum(r.total_steals
+                             for r in ts.results) / len(ts.results)
                 per_policy[policy] = (ts.t_avg, steals)
                 row.extend([ts.t_avg * 1e3, steals])
             data[name] = per_policy
@@ -60,10 +73,7 @@ def run(scale: Scale) -> ExperimentReport:
         for policy, label in POLICIES:
             s = Series(name=label)
             for n in scale.fig2_uts_n:
-                progress(f"fig2-uts {label} n={n}")
-                ts = trial_stats(scale, lambda: uts_app(scale, "fig2"),
-                                 protocol="TD", n=n, dmax=10,
-                                 sharing=policy, quantum=scale.uts_quantum)
+                ts = grid.stats(("uts", policy, n))
                 s.add(n, ts.t_avg * 1e3)
             series.append(s)
         report.sections.append(render_series(

@@ -7,8 +7,8 @@ the centralized pool works fine when the master is not yet saturated.
 
 from __future__ import annotations
 
-from .base import ExperimentReport, progress, timed, trial_stats
-from .config import Scale, bnb_app
+from .base import ExperimentReport, make_grid, timed
+from .config import Scale, bnb_spec
 from .report import render_table
 
 PROTOCOLS = ("BTD", "RWS", "MW")
@@ -23,6 +23,14 @@ def run(scale: Scale) -> ExperimentReport:
                          "competitive at this scale (centralisation not yet "
                          "saturated); relative order varies per instance"),
         )
+        grid = make_grid(scale)
+        for idx in range(1, 11):
+            for proto in PROTOCOLS:
+                grid.add((idx, proto), bnb_spec(scale, idx),
+                         label=f"fig3 Ta{20 + idx} {proto}",
+                         protocol=proto, n=scale.fig3_n, dmax=10,
+                         quantum=scale.bnb_quantum)
+        grid.run()
         rows = []
         totals = {p: 0.0 for p in PROTOCOLS}
         btd_wins = 0
@@ -32,10 +40,7 @@ def run(scale: Scale) -> ExperimentReport:
             times = {}
             red = 0
             for proto in PROTOCOLS:
-                progress(f"fig3 {name} {proto}")
-                ts = trial_stats(scale, lambda: bnb_app(scale, idx),
-                                 protocol=proto, n=scale.fig3_n, dmax=10,
-                                 quantum=scale.bnb_quantum)
+                ts = grid.stats((idx, proto))
                 times[proto] = ts.t_avg
                 totals[proto] += ts.t_avg
                 if proto == "MW":

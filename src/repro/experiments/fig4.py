@@ -8,8 +8,8 @@ scaling smoothly.
 
 from __future__ import annotations
 
-from .base import ExperimentReport, progress, timed, trial_stats
-from .config import Scale, bnb_app
+from .base import ExperimentReport, make_grid, timed
+from .config import Scale, bnb_spec
 from .report import Series, ascii_chart, render_series
 
 
@@ -21,18 +21,23 @@ def run(scale: Scale) -> ExperimentReport:
             expectation=("MW deteriorates past ~600 workers (master "
                          "saturation); BTD keeps improving or holds"),
         )
+        grid = make_grid(scale)
+        for idx, label in ((1, "Ta21"), (3, "Ta23")):
+            for proto in ("MW", "BTD"):
+                for n in scale.fig45_n:
+                    grid.add((label, proto, n), bnb_spec(scale, idx, big=True),
+                             trials=scale.scaling_trials,
+                             label=f"fig4 {label} {proto} n={n}",
+                             protocol=proto, n=n, dmax=10,
+                             quantum=scale.bnb_quantum)
+        grid.run()
         series = []
         data = {}
         for idx, label in ((1, "Ta21"), (3, "Ta23")):
             for proto in ("MW", "BTD"):
                 s = Series(name=f"{proto} {label}")
                 for n in scale.fig45_n:
-                    progress(f"fig4 {label} {proto} n={n}")
-                    ts = trial_stats(scale,
-                                     lambda: bnb_app(scale, idx, big=True),
-                                     trials=scale.scaling_trials,
-                                     protocol=proto, n=n, dmax=10,
-                                     quantum=scale.bnb_quantum)
+                    ts = grid.stats((label, proto, n))
                     s.add(n, ts.t_avg * 1e3)
                     data[(label, proto, n)] = ts
                 series.append(s)

@@ -9,10 +9,14 @@ substantial for both applications.
 
 from __future__ import annotations
 
-from .base import ExperimentReport, progress, timed, trial_stats
-from .config import Scale, bnb_app, uts_app
+from .base import ExperimentReport, make_grid, timed
+from .config import Scale, bnb_spec, uts_spec
 from .report import Series, ascii_chart, render_series
 from .seqref import sequential_time
+
+SWEEPS = (("B&B Ta21", "fig45_n", "bnb_quantum"),
+          ("B&B Ta23", "fig45_n", "bnb_quantum"),
+          ("UTS", "fig5_uts_n", "uts_quantum"))
 
 
 def run(scale: Scale) -> ExperimentReport:
@@ -23,20 +27,35 @@ def run(scale: Scale) -> ExperimentReport:
             expectation=("RWS efficiency collapses at scale, BTD degrades "
                          "marginally; holds for both B&B and UTS"),
         )
+        specs = {"B&B Ta21": bnb_spec(scale, 1, big=True),
+                 "B&B Ta23": bnb_spec(scale, 3, big=True),
+                 "UTS": uts_spec(scale, "main")}
+        sweep_ns = {"B&B Ta21": scale.fig45_n, "B&B Ta23": scale.fig45_n,
+                    "UTS": scale.fig5_uts_n}
+        quanta = {"B&B Ta21": scale.bnb_quantum,
+                  "B&B Ta23": scale.bnb_quantum,
+                  "UTS": scale.uts_quantum}
+        grid = make_grid(scale)
+        for label, spec in specs.items():
+            for proto in ("BTD", "RWS"):
+                for n in sweep_ns[label]:
+                    grid.add((label, proto, n), spec,
+                             trials=scale.scaling_trials,
+                             label=f"fig5 {label} {proto} n={n}",
+                             protocol=proto, n=n, dmax=10,
+                             quantum=quanta[label])
+        grid.run()
         data = {}
-
-        def sweep(app_factory, label, ns, quantum):
-            t_seq = sequential_time(app_factory())
+        t_seqs = {}
+        for label, spec in specs.items():
+            t_seq = sequential_time(spec())
+            t_seqs[label] = t_seq
             t_series, pe_series = [], []
             for proto in ("BTD", "RWS"):
                 ts_ser = Series(name=f"{proto} time")
                 pe_ser = Series(name=f"{proto} PE%")
-                for n in ns:
-                    progress(f"fig5 {label} {proto} n={n}")
-                    ts = trial_stats(scale, app_factory,
-                                     trials=scale.scaling_trials,
-                                     protocol=proto, n=n, dmax=10,
-                                     quantum=quantum)
+                for n in sweep_ns[label]:
+                    ts = grid.stats((label, proto, n))
                     ts_ser.add(n, ts.t_avg * 1e3)
                     pe_ser.add(n, 100.0 * t_seq / (n * ts.t_avg))
                     data[(label, proto, n)] = ts
@@ -49,22 +68,14 @@ def run(scale: Scale) -> ExperimentReport:
             report.sections.append(ascii_chart(
                 pe_series, x_label="n", y_label=f"{label} efficiency (%)"))
             report.sections.append("")
-            return t_seq
-
-        t21 = sweep(lambda: bnb_app(scale, 1, big=True), "B&B Ta21",
-                    scale.fig45_n, scale.bnb_quantum)
-        t23 = sweep(lambda: bnb_app(scale, 3, big=True), "B&B Ta23",
-                    scale.fig45_n, scale.bnb_quantum)
-        tuts = sweep(lambda: uts_app(scale, "main"), "UTS",
-                     scale.fig5_uts_n, scale.uts_quantum)
         report.data = {"runs": data,
-                       "t_seq": {"Ta21": t21, "Ta23": t23, "UTS": tuts}}
+                       "t_seq": {"Ta21": t_seqs["B&B Ta21"],
+                                 "Ta23": t_seqs["B&B Ta23"],
+                                 "UTS": t_seqs["UTS"]}}
         # shape checks at the extreme scales
         checks = []
-        for label, ns in (("B&B Ta21", scale.fig45_n),
-                          ("B&B Ta23", scale.fig45_n),
-                          ("UTS", scale.fig5_uts_n)):
-            hi = ns[-1]
+        for label in specs:
+            hi = sweep_ns[label][-1]
             btd = data[(label, "BTD", hi)].t_avg
             rws = data[(label, "RWS", hi)].t_avg
             checks.append(f"{label} at n={hi}: BTD faster than RWS: "

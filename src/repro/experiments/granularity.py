@@ -16,8 +16,8 @@ ordering inverts. This is the mechanism behind the Fig. 5 deviation.
 
 from __future__ import annotations
 
-from .base import ExperimentReport, progress, timed, trial_stats
-from .config import Scale, uts_app
+from .base import ExperimentReport, make_grid, timed
+from .config import Scale, uts_spec
 from .report import render_table
 from .seqref import sequential_time
 
@@ -33,22 +33,27 @@ def run(scale: Scale) -> ExperimentReport:
                          "granularity; RWS gains as per-worker work shrinks "
                          "below the regime the paper operates in"),
         )
-        app_factory = lambda: uts_app(scale, "main")
-        t_seq = sequential_time(app_factory())
-        total_units = round(t_seq / app_factory().unit_cost)
+        spec = uts_spec(scale, "main")
+        app = spec()
+        t_seq = sequential_time(app)
+        total_units = round(t_seq / app.unit_cost)
         ns = [n for n in SWEEP_N if n <= max(SWEEP_N)]
         if scale.name == "quick":
             ns = (8, 16, 32, 64)
+        grid = make_grid(scale)
+        for n in ns:
+            for proto in ("BTD", "RWS"):
+                grid.add((proto, n), spec, trials=scale.scaling_trials,
+                         label=f"granularity {proto} n={n}",
+                         protocol=proto, n=n, dmax=10,
+                         quantum=scale.uts_quantum)
+        grid.run()
         rows = []
         data = {}
         for n in ns:
             times = {}
             for proto in ("BTD", "RWS"):
-                progress(f"granularity {proto} n={n}")
-                ts = trial_stats(scale, app_factory,
-                                 trials=scale.scaling_trials,
-                                 protocol=proto, n=n, dmax=10,
-                                 quantum=scale.uts_quantum)
+                ts = grid.stats((proto, n))
                 times[proto] = ts.t_avg
                 data[(proto, n)] = ts
             rows.append([
@@ -60,7 +65,7 @@ def run(scale: Scale) -> ExperimentReport:
         report.sections.append(render_table(
             ["n", "units/worker", "BTD (ms)", "BTD PE%", "RWS (ms)",
              "RWS PE%", "RWS/BTD"],
-            rows, title=f"-- granularity sweep over {app_factory().name} --",
+            rows, title=f"-- granularity sweep over {app.name} --",
             digits=2))
         ratios = [r[-1] for r in rows]
         report.sections.append(

@@ -1,0 +1,227 @@
+"""Multiprocess grid execution with content-addressed result caching.
+
+The paper's evaluation is a large grid — protocols x worker counts x
+trials x applications — and every cell is an independent, bit-deterministic
+simulation.  This module fans those cells out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` and memoises finished
+cells on disk (:mod:`repro.experiments.cache`), so a table regenerates in
+``wall/ncores`` time the first run and near-instantly the second.
+
+Execution contract (asserted by the test suite):
+
+* Cells derive from :func:`repro.experiments.runner.cell_configs` — the
+  single canonical ``(RunConfig, trial)`` expansion — and each worker
+  rebuilds the application fresh from its picklable spec, exactly as the
+  serial loop calls ``app_factory()`` per trial.  Parallel, serial and
+  cached paths therefore return **bit-identical**
+  :class:`~repro.experiments.runner.ExperimentResult` lists.
+* ``jobs=1`` (the default without ``$REPRO_JOBS``/``--jobs``) never spawns
+  a pool: cells run in-process through the plain serial loop.
+* Plain-callable factories (closures) still work everywhere: such cells
+  cannot be pickled or content-addressed, so they run serially in the
+  parent and skip the cache.
+
+``jobs`` resolution order: explicit argument > :func:`configure` (set by
+the CLIs) > ``$REPRO_JOBS`` > 1.  ``jobs <= 0`` means "all cores".
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Optional, Sequence
+
+from ..sim.errors import SimConfigError
+from .cache import ResultCache, cache_disabled_by_env, cell_key
+from .runner import (ExperimentResult, RunConfig, TrialStats, cell_configs,
+                     run_once)
+from .specs import is_spec
+
+#: Process-wide defaults installed by the CLIs (``--jobs`` / ``--no-cache``)
+#: so the table/figure generators pick them up without threading arguments
+#: through every call site.
+_configured: dict = {"jobs": None, "use_cache": None}
+
+
+def configure(jobs: Optional[int] = None,
+              use_cache: Optional[bool] = None) -> None:
+    """Install process-wide defaults for ``jobs`` and cache usage."""
+    _configured["jobs"] = jobs
+    _configured["use_cache"] = use_cache
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker-process count for a grid (see module docstring for order)."""
+    if jobs is None:
+        jobs = _configured["jobs"]
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise SimConfigError(f"REPRO_JOBS must be an integer, "
+                                     f"got {env!r}")
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs <= 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+def resolve_use_cache(use_cache: Optional[bool] = None) -> bool:
+    """Cache enablement: explicit > configured > $REPRO_NO_CACHE > on."""
+    if use_cache is None:
+        use_cache = _configured["use_cache"]
+    if use_cache is None:
+        use_cache = not cache_disabled_by_env()
+    return bool(use_cache)
+
+
+def _run_cell(cfg: RunConfig, spec) -> ExperimentResult:
+    """Pool worker: rebuild the application from its spec, run the cell."""
+    return run_once(cfg, spec())
+
+
+def run_cells(cells: Sequence[tuple], *, jobs: Optional[int] = None,
+              use_cache: Optional[bool] = None,
+              cache: Optional[ResultCache] = None,
+              progress: Optional[Callable[[int, int, str], None]] = None,
+              labels: Optional[Sequence[str]] = None
+              ) -> list[ExperimentResult]:
+    """Execute independent grid cells; returns results in input order.
+
+    ``cells`` is a sequence of ``(RunConfig, app_factory)`` pairs;
+    ``progress(done, total, label)`` is invoked (in the parent) as each
+    cell completes, cache hits included.
+    """
+    jobs = resolve_jobs(jobs)
+    if cache is None and resolve_use_cache(use_cache):
+        cache = ResultCache()
+    total = len(cells)
+    results: list[Optional[ExperimentResult]] = [None] * total
+    done = 0
+
+    def label_of(i: int) -> str:
+        if labels is not None and labels[i]:
+            return labels[i]
+        cfg = cells[i][0]
+        return f"{cfg.protocol} n={cfg.n} seed={cfg.seed}"
+
+    def report(i: int, note: str) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(done, total, f"{label_of(i)}{note}")
+
+    # -- cache lookup (parent-side) -----------------------------------------
+    pending: list[tuple[int, RunConfig, object, Optional[str]]] = []
+    for i, (cfg, factory) in enumerate(cells):
+        key = cell_key(cfg, factory) if (cache is not None
+                                         and is_spec(factory)) else None
+        hit = cache.get(key) if key is not None else None
+        if hit is not None:
+            results[i] = hit
+            report(i, " [cached]")
+        else:
+            pending.append((i, cfg, factory, key))
+
+    def finish(i: int, key: Optional[str], result: ExperimentResult) -> None:
+        results[i] = result
+        if key is not None:
+            cache.put(key, result)
+        report(i, "")
+
+    # -- execution ----------------------------------------------------------
+    poolable = [c for c in pending if is_spec(c[2])]
+    serial_only = [c for c in pending if not is_spec(c[2])]
+    if jobs == 1 or len(poolable) < 2:
+        serial_only = pending
+        poolable = []
+    if poolable:
+        max_workers = min(jobs, len(poolable))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {pool.submit(_run_cell, cfg, spec): (i, key)
+                       for i, cfg, spec, key in poolable}
+            outstanding = set(futures)
+            while outstanding:
+                finished, outstanding = wait(outstanding,
+                                             return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    i, key = futures[fut]
+                    finish(i, key, fut.result())
+    for i, cfg, factory, key in serial_only:
+        finish(i, key, run_once(cfg, factory()))
+    return results  # type: ignore[return-value]
+
+
+class ExperimentGrid:
+    """Accumulate a whole grid of trial groups, run it in one fan-out.
+
+    The table/figure generators declare every configuration up front
+    (:meth:`add`), execute all cells with one :func:`run_cells` call
+    (:meth:`run` — maximum pool utilisation across the whole grid), then
+    read per-configuration :class:`TrialStats` back (:meth:`stats`).
+    """
+
+    def __init__(self, *, seed: int = 0, default_trials: int = 1,
+                 jobs: Optional[int] = None,
+                 use_cache: Optional[bool] = None,
+                 cache: Optional[ResultCache] = None,
+                 progress: Optional[Callable[[int, int, str], None]] = None
+                 ) -> None:
+        self.seed = seed
+        self.default_trials = default_trials
+        self.jobs = jobs
+        self.use_cache = use_cache
+        self.cache = cache
+        self.progress = progress
+        self._cells: list[tuple[RunConfig, object]] = []
+        self._labels: list[str] = []
+        self._groups: dict = {}
+        self._results: Optional[list[ExperimentResult]] = None
+
+    def add(self, key, app_factory, *, trials: Optional[int] = None,
+            label: Optional[str] = None, **cfg_kwargs) -> None:
+        """Register one configuration (expanded into per-trial cells)."""
+        if self._results is not None:
+            raise SimConfigError("grid already ran; create a new one")
+        if key in self._groups:
+            raise SimConfigError(f"duplicate grid key {key!r}")
+        cfg_kwargs.setdefault("seed", self.seed)
+        cfg = RunConfig(**cfg_kwargs)
+        expanded = cell_configs(cfg, trials if trials is not None
+                                else self.default_trials)
+        start = len(self._cells)
+        base = label or f"{cfg.protocol} n={cfg.n}"
+        for t, trial_cfg in enumerate(expanded):
+            self._cells.append((trial_cfg, app_factory))
+            self._labels.append(f"{base} trial {t + 1}/{len(expanded)}")
+        self._groups[key] = (start, len(expanded))
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def run(self) -> "ExperimentGrid":
+        """Execute every registered cell (pool + cache); idempotent."""
+        if self._results is None:
+            self._results = run_cells(
+                self._cells, jobs=self.jobs, use_cache=self.use_cache,
+                cache=self.cache, progress=self.progress,
+                labels=self._labels)
+        return self
+
+    def stats(self, key) -> TrialStats:
+        """Aggregated trials of one configuration (runs the grid if needed)."""
+        self.run()
+        start, count = self._groups[key]
+        return TrialStats.of(self._results[start:start + count])
+
+    def result(self, key) -> ExperimentResult:
+        """First-trial result of one configuration."""
+        return self.stats(key).results[0]
+
+
+__all__ = ["ExperimentGrid", "configure", "resolve_jobs",
+           "resolve_use_cache", "run_cells"]

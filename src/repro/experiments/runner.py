@@ -230,18 +230,39 @@ class TrialStats:
                    t_max=max(times), t_min=min(times), results=results)
 
 
-def run_trials(cfg: RunConfig, app_factory: Callable[[], Application],
-               trials: int) -> TrialStats:
-    """Repeat a run ``trials`` times with derived seeds (paper: 10 trials)."""
+def cell_configs(cfg: RunConfig, trials: int) -> list[RunConfig]:
+    """The canonical per-trial expansion of one grid configuration.
+
+    Trial ``t`` runs with seed ``cfg.seed + 1000 * t`` (paper: 10 trials).
+    Every execution path — the serial loop, the multiprocess grid runner
+    and the result cache — derives its cells from this single function, so
+    trial seeding can never diverge between them.
+    """
     if trials < 1:
         raise SimConfigError("trials must be >= 1")
     import dataclasses
-    results = []
-    for t in range(trials):
-        trial_cfg = dataclasses.replace(cfg, seed=cfg.seed + 1000 * t)
-        results.append(run_once(trial_cfg, app_factory()))
+    return [dataclasses.replace(cfg, seed=cfg.seed + 1000 * t)
+            for t in range(trials)]
+
+
+def run_trials(cfg: RunConfig, app_factory: Callable[[], Application],
+               trials: int, *, jobs: Optional[int] = None,
+               use_cache: Optional[bool] = None,
+               progress: Optional[Callable] = None) -> TrialStats:
+    """Repeat a run ``trials`` times with derived seeds (paper: 10 trials).
+
+    ``app_factory`` may be a plain zero-argument callable (executed with
+    the exact historical serial loop) or an application *spec* from
+    :mod:`repro.experiments.specs`, which additionally enables the
+    multiprocess pool (``jobs``/``$REPRO_JOBS``) and the on-disk result
+    cache.  Results are bit-identical across all paths.
+    """
+    from .parallel import run_cells  # local import: parallel imports us
+    cells = [(c, app_factory) for c in cell_configs(cfg, trials)]
+    results = run_cells(cells, jobs=jobs, use_cache=use_cache,
+                        progress=progress)
     return TrialStats.of(results)
 
 
 __all__ = ["RunConfig", "ExperimentResult", "TrialStats", "PROTOCOLS",
-           "build_workers", "run_once", "run_trials"]
+           "build_workers", "cell_configs", "run_once", "run_trials"]

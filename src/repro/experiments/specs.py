@@ -1,0 +1,99 @@
+"""Picklable application specs for the parallel experiment harness.
+
+The table/figure generators used to describe workloads as closures
+(``lambda: bnb_app(scale, idx)``).  Closures cannot cross a process
+boundary and cannot be hashed into a cache key, so the grid runner works
+with *specs* instead: small frozen dataclasses that
+
+* **build** the application on demand (``spec()`` — specs are callable, so
+  every existing factory call site keeps working),
+* carry their **heavyweight derived inputs** (the Taillard processing-time
+  matrix, the NEH warm-start permutation) precomputed in the parent
+  process, so pool workers reconstruct applications without redoing that
+  work per cell, and
+* expose a canonical :meth:`cache_key` used by
+  :mod:`repro.experiments.cache` to content-address finished cells.
+
+The derived payload fields are excluded from equality — two specs with the
+same parameters are the same workload regardless of whether the payload
+has been materialised.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..apps.bnb_app import BNB_UNIT_COST, BnBApplication
+from ..apps.uts_app import UTS_UNIT_COST, UTSApplication
+from ..bnb.flowshop import FlowshopInstance
+from ..bnb.neh import neh as neh_heuristic
+from ..bnb.taillard import scaled_instance
+from ..uts.tree import UTSParams
+
+
+def is_spec(obj) -> bool:
+    """True for callables that also carry a canonical ``cache_key()``."""
+    return callable(obj) and hasattr(obj, "cache_key")
+
+
+@dataclass(frozen=True)
+class UTSSpec:
+    """An Unbalanced-Tree-Search workload, by generator parameters."""
+
+    params: UTSParams
+    unit_cost: float = UTS_UNIT_COST
+
+    def cache_key(self) -> tuple:
+        return ("uts", dataclasses.astuple(self.params), self.unit_cost)
+
+    def build(self) -> UTSApplication:
+        return UTSApplication(self.params, unit_cost=self.unit_cost)
+
+    def __call__(self) -> UTSApplication:
+        return self.build()
+
+
+@dataclass(frozen=True)
+class BnBSpec:
+    """A scaled Taillard flow-shop B&B workload, by instance coordinates.
+
+    ``index`` selects Ta(20+index); ``n_jobs`` x ``n_machines`` is the
+    truncation (see :func:`repro.bnb.taillard.scaled_instance`).  The
+    instance matrix and (when ``warm_start``) the NEH solution are computed
+    once at spec construction and shipped with the pickle.
+    """
+
+    index: int
+    n_jobs: int = 10
+    n_machines: int = 10
+    bound: str = "lb1"
+    warm_start: bool = True
+    unit_cost: float = BNB_UNIT_COST
+    instance: FlowshopInstance = field(init=False, compare=False, repr=False)
+    neh: tuple[int, list[int]] | None = field(init=False, compare=False,
+                                              repr=False)
+
+    def __post_init__(self) -> None:
+        inst = scaled_instance(self.index, n_jobs=self.n_jobs,
+                               n_machines=self.n_machines)
+        object.__setattr__(self, "instance", inst)
+        object.__setattr__(
+            self, "neh", neh_heuristic(inst) if self.warm_start else None)
+
+    def cache_key(self) -> tuple:
+        return ("bnb", self.index, self.n_jobs, self.n_machines, self.bound,
+                self.warm_start, self.unit_cost)
+
+    def build(self) -> BnBApplication:
+        return BnBApplication(self.instance, bound=self.bound,
+                              unit_cost=self.unit_cost,
+                              warm_start=self.warm_start, neh=self.neh)
+
+    def __call__(self) -> BnBApplication:
+        return self.build()
+
+
+AppSpec = UTSSpec | BnBSpec
+
+__all__ = ["AppSpec", "BnBSpec", "UTSSpec", "is_spec"]

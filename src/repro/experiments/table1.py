@@ -8,8 +8,8 @@ deterministic tree beats the randomized one.
 
 from __future__ import annotations
 
-from .base import ExperimentReport, progress, timed, trial_stats
-from .config import Scale, bnb_app, uts_app
+from .base import ExperimentReport, make_grid, timed
+from .config import Scale, bnb_spec, uts_spec
 from .report import render_table
 
 OVERLAYS = (("TD", 2), ("TD", 5), ("TD", 10), ("TR", 0))
@@ -24,20 +24,28 @@ def run(scale: Scale) -> ExperimentReport:
                          "(sigma shrinks); TD beats TR"),
         )
         apps = {
-            "B&B": lambda: bnb_app(scale, 1),
-            "UTS": lambda: uts_app(scale, "main"),
+            "B&B": bnb_spec(scale, 1),
+            "UTS": uts_spec(scale, "main"),
         }
         quanta = {"B&B": scale.bnb_quantum, "UTS": scale.uts_quantum}
+        # declare the whole grid, run it in one fan-out
+        grid = make_grid(scale)
+        for app_name, spec in apps.items():
+            for n in scale.table1_n:
+                for proto, dmax in OVERLAYS:
+                    label = f"TD dmax={dmax}" if proto == "TD" else "TR"
+                    grid.add((app_name, n, label), spec,
+                             label=f"table1 {app_name} n={n} {label}",
+                             protocol=proto, n=n, dmax=max(2, dmax),
+                             quantum=quanta[app_name])
+        grid.run()
         data = {}
-        for app_name, factory in apps.items():
+        for app_name in apps:
             rows = []
             for n in scale.table1_n:
                 for proto, dmax in OVERLAYS:
                     label = f"TD dmax={dmax}" if proto == "TD" else "TR"
-                    progress(f"table1 {app_name} n={n} {label}")
-                    ts = trial_stats(scale, factory, protocol=proto, n=n,
-                                     dmax=max(2, dmax),
-                                     quantum=quanta[app_name])
+                    ts = grid.stats((app_name, n, label))
                     rows.append([n, label,
                                  ts.t_avg * 1e3, ts.t_std * 1e3,
                                  ts.t_max * 1e3, ts.t_min * 1e3])

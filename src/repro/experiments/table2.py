@@ -8,8 +8,8 @@ bridges do their job).
 
 from __future__ import annotations
 
-from .base import ExperimentReport, progress, timed, trial_stats
-from .config import Scale, bnb_app
+from .base import ExperimentReport, make_grid, timed
+from .config import Scale, bnb_spec
 from .report import render_table
 
 PROTOCOLS = ("TD", "BTD", "AHMW")
@@ -24,20 +24,23 @@ def run(scale: Scale) -> ExperimentReport:
                          "aggregate: BTD ~10x and TD ~5x faster than AHMW; "
                          "BTD < TD"),
         )
+        grid = make_grid(scale)
+        for idx in range(1, 11):
+            for proto in PROTOCOLS:
+                grid.add((idx, proto), bnb_spec(scale, idx),
+                         label=f"table2 Ta{20 + idx} {proto}",
+                         protocol=proto, n=scale.table2_n, dmax=10,
+                         quantum=scale.bnb_quantum)
+        grid.run()
         rows = []
         totals = {p: 0.0 for p in PROTOCOLS}
         wins = {p: 0 for p in ("TD", "BTD")}
         data = {}
         for idx in range(1, 11):
             name = f"Ta{20 + idx}"
-            times = {}
+            times = {p: grid.stats((idx, p)).t_avg for p in PROTOCOLS}
             for proto in PROTOCOLS:
-                progress(f"table2 {name} {proto}")
-                ts = trial_stats(scale, lambda: bnb_app(scale, idx),
-                                 protocol=proto, n=scale.table2_n, dmax=10,
-                                 quantum=scale.bnb_quantum)
-                times[proto] = ts.t_avg
-                totals[proto] += ts.t_avg
+                totals[proto] += times[proto]
             data[name] = times
             for p in ("TD", "BTD"):
                 wins[p] += times[p] < times["AHMW"]

@@ -131,14 +131,22 @@ class Simulator:
         for proc in self.processes:
             proc.start()
         fired = 0
+        # A run is *truncated* only when a limit actually cut it short —
+        # stop() was called, or an event beyond the limit was left pending.
+        # Merely passing max_time/max_events must not suppress the deadlock
+        # check when the queue drained naturally before the limit.
+        truncated = False
         while True:
             if self._stopped:
+                truncated = True
                 break
             if max_events is not None and fired >= max_events:
+                truncated = self.queue.peek_time() is not None
                 break
             if max_time is not None:
                 nxt = self.queue.peek_time()
-                if nxt is None or nxt > max_time:
+                if nxt is not None and nxt > max_time:
+                    truncated = True
                     break
             ev = self.queue.pop()
             if ev is None:
@@ -151,9 +159,7 @@ class Simulator:
                 ev.action()
         self._running = False
         self.stats.events_fired = fired
-        self._finalize(truncated=self._stopped
-                       or (max_events is not None and fired >= max_events)
-                       or (max_time is not None))
+        self._finalize(truncated=truncated)
         return self.stats
 
     def _finalize(self, truncated: bool) -> None:
@@ -171,6 +177,7 @@ class Simulator:
             (p.finish_time for p in self.stats.per_process), default=self.now)
         if self.stats.makespan == 0.0:
             self.stats.makespan = self.now
+        self.stats.seal()
 
 
 __all__ = ["Simulator"]

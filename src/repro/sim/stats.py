@@ -35,13 +35,22 @@ class ProcessStats:
 
 @dataclass(slots=True)
 class RunStats:
-    """Aggregated statistics of a complete simulation run."""
+    """Aggregated statistics of a complete simulation run.
+
+    The ``total_*`` aggregates are O(n) sums over the per-process counters.
+    During a run they are computed live; once the engine finalises the run
+    it calls :meth:`seal`, which freezes them into one cached tuple — the
+    experiment tables read each aggregate several times per row, and n
+    reaches 1000 in the scaling figures.
+    """
 
     n: int
     per_process: list[ProcessStats] = field(default_factory=list)
     makespan: float = 0.0          # time the last process learnt termination
     work_done_time: float = 0.0    # time the last work unit finished
     events_fired: int = 0
+    #: (units, msgs, steals, steals_ok, busy) — set by :meth:`seal`
+    _aggregates: tuple | None = field(default=None, repr=False, compare=False)
 
     @classmethod
     def create(cls, n: int) -> "RunStats":
@@ -50,29 +59,49 @@ class RunStats:
 
     # -- aggregates used by the experiment harness --------------------------
 
+    def seal(self) -> None:
+        """Cache the aggregate sums (call once the counters are final)."""
+        self._aggregates = (
+            sum(p.work_units for p in self.per_process),
+            sum(p.msgs_sent for p in self.per_process),
+            sum(p.steals_attempted for p in self.per_process),
+            sum(p.steals_successful for p in self.per_process),
+            sum(p.busy_time for p in self.per_process),
+        )
+
     @property
     def total_work_units(self) -> int:
         """Application work units processed across all processes."""
+        if self._aggregates is not None:
+            return self._aggregates[0]
         return sum(p.work_units for p in self.per_process)
 
     @property
     def total_msgs(self) -> int:
         """Messages sent across all processes."""
+        if self._aggregates is not None:
+            return self._aggregates[1]
         return sum(p.msgs_sent for p in self.per_process)
 
     @property
     def total_steals(self) -> int:
         """Work requests issued across all processes."""
+        if self._aggregates is not None:
+            return self._aggregates[2]
         return sum(p.steals_attempted for p in self.per_process)
 
     @property
     def total_steals_ok(self) -> int:
         """Work requests that were answered with work."""
+        if self._aggregates is not None:
+            return self._aggregates[3]
         return sum(p.steals_successful for p in self.per_process)
 
     @property
     def total_busy(self) -> float:
         """Total compute time across all processes (virtual seconds)."""
+        if self._aggregates is not None:
+            return self._aggregates[4]
         return sum(p.busy_time for p in self.per_process)
 
     def msgs_by_pid(self) -> list[int]:

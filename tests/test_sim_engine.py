@@ -265,3 +265,57 @@ def test_sent_stats_accounted():
     assert st.per_process[0].msgs_sent == 2
     assert st.per_process[0].bytes_sent == 2 * 64
     assert st.total_msgs == 2
+
+
+def test_unreached_limit_does_not_suppress_deadlock():
+    """Regression: passing max_time/max_events must not blanket-mark the
+    run truncated.  A process that never finishes while the queue drains
+    naturally is a deadlock, limit or no limit."""
+    class Stuck(SimProcess):
+        def finished(self):
+            return False
+
+    for kwargs in ({"max_time": 1e9}, {"max_events": 10 ** 9},
+                   {"max_time": 1e9, "max_events": 10 ** 9}):
+        sim = Simulator(_net())
+        sim.add_process(Stuck(0))
+        with pytest.raises(SimDeadlockError):
+            sim.run(**kwargs)
+
+
+def test_tripped_limit_still_suppresses_deadlock():
+    """When the limit actually cuts work short, no deadlock is raised."""
+    class Ticker(SimProcess):
+        def start(self):
+            self._tick()
+
+        def _tick(self):
+            self.call_after(1.0, self._tick)
+
+        def finished(self):
+            return False
+
+    sim = Simulator(_net())
+    sim.add_process(Ticker(0))
+    stats = sim.run(max_events=3)  # events remain pending -> truncated
+    assert stats.events_fired == 3
+
+    sim = Simulator(_net())
+    sim.add_process(Ticker(0))
+    sim.run(max_time=2.5)  # next timer is beyond the horizon -> truncated
+
+
+def test_exact_limit_with_drained_queue_is_not_truncated():
+    """Hitting max_events exactly as the queue empties is a natural end:
+    the deadlock check must still apply to unfinished processes."""
+    class Stuck(SimProcess):
+        def start(self):
+            self.call_after(1.0, lambda: None)
+
+        def finished(self):
+            return False
+
+    sim = Simulator(_net())
+    sim.add_process(Stuck(0))
+    with pytest.raises(SimDeadlockError):
+        sim.run(max_events=1)  # fires the only event, queue now empty

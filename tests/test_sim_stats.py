@@ -49,3 +49,41 @@ def test_empty_runstats_guards():
     rs = RunStats.create(0)
     assert rs.busy_fraction() == 0.0
     assert rs.efficiency_vs(1.0) == 0.0
+
+
+def test_seal_freezes_aggregates():
+    """Aggregates are computed live during a run, then cached by seal()."""
+    rs = RunStats.create(2)
+    rs.per_process[0].work_units = 5
+    assert rs.total_work_units == 5      # live before seal
+    rs.per_process[1].work_units = 7
+    assert rs.total_work_units == 12
+    rs.seal()
+    assert rs.total_work_units == 12
+    assert rs.total_msgs == 0
+    # post-seal mutation is invisible: the totals are frozen sums
+    rs.per_process[0].work_units = 999
+    rs.per_process[0].msgs_sent = 999
+    assert rs.total_work_units == 12
+    assert rs.total_msgs == 0
+
+
+def test_seal_covers_all_five_totals():
+    rs = RunStats.create(1)
+    p = rs.per_process[0]
+    p.work_units, p.msgs_sent, p.busy_time = 3, 4, 0.25
+    p.steals_attempted, p.steals_successful = 6, 2
+    rs.seal()
+    assert (rs.total_work_units, rs.total_msgs, rs.total_steals,
+            rs.total_steals_ok) == (3, 4, 6, 2)
+    assert rs.total_busy == pytest.approx(0.25)
+
+
+def test_simulator_seals_stats():
+    """Engine runs hand back sealed stats."""
+    from repro.sim import Simulator, SimProcess
+    from repro.sim.network import uniform_network
+    sim = Simulator(uniform_network(latency=1e-4, handler_cost=1e-6))
+    sim.add_process(SimProcess(0))
+    st = sim.run()
+    assert st._aggregates is not None
