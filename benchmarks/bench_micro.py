@@ -148,3 +148,49 @@ def test_decompose_block(benchmark):
         return engine.decompose_block(0, BoundState(), tree_leaves(10))[1]
 
     assert benchmark(run) == 10
+
+
+def test_fault_hooks_free_when_clean(benchmark):
+    """The fault layer must cost nothing when no FaultPlan is active.
+
+    A null plan is normalised away at Simulator construction, so every
+    per-message fault hook is a dead branch. Guard both directions: the
+    results are bit-identical, and the wall-clock ratio stays within
+    noise (a lenient 2.5x bound — CI machines are jittery, and a real
+    regression here would be a hot-path branch showing up as 1.1-1.3x on
+    every message).
+    """
+    import time
+
+    from repro.experiments.runner import RunConfig, run_once
+    from repro.experiments.specs import UTSSpec
+    from repro.sim.faults import FaultPlan
+    from repro.uts.params import PRESETS
+
+    spec = UTSSpec(PRESETS["bin_tiny"].params)
+
+    def once(plan):
+        cfg = RunConfig(protocol="BTD", n=12, quantum=64, seed=42,
+                        faults=plan)
+        return run_once(cfg, spec.build())
+
+    clean = once(None)
+    null = once(FaultPlan())
+    assert clean.makespan == null.makespan
+    assert clean.total_msgs == null.total_msgs
+    assert clean.total_units == null.total_units
+    assert null.msgs_lost == null.retransmits == null.repairs == 0
+
+    def wall(plan, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            once(plan)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    assert benchmark(lambda: once(None).makespan) > 0
+    t_clean = wall(None)
+    t_null = wall(FaultPlan())
+    assert t_null < 2.5 * t_clean, (
+        f"null FaultPlan slowed the clean path {t_null / t_clean:.2f}x")

@@ -16,6 +16,11 @@ The ``harness`` mode times one compare-style experiment grid three ways —
 serial loop, multiprocess pool (``--jobs``, default all cores), and a warm
 cache rerun — and writes ``BENCH_harness.json``. The serial measurement is
 the baseline the speedups are computed against.
+
+The ``faults`` mode (``python benchmarks/record.py faults``) measures
+what the fault-injection layer costs: no-plan vs null-plan runs must be
+bit-identical (asserted), and a loss curve quantifies the reliable
+channel's overhead. Writes ``BENCH_faults.json``.
 """
 
 import json
@@ -153,6 +158,62 @@ def harness(jobs=0):
     print(f"wrote {out}")
 
 
+def faults():
+    """Overhead of the fault layer: null-plan bit-identity + loss curve."""
+    from repro.experiments.runner import RunConfig, run_once
+    from repro.experiments.specs import UTSSpec
+    from repro.sim.faults import FaultPlan
+    from repro.uts.params import PRESETS
+
+    spec = UTSSpec(PRESETS["bin_tiny"].params)
+
+    def cell(plan):
+        def run():
+            cfg = RunConfig(protocol="BTD", n=16, quantum=64, seed=42,
+                            faults=plan)
+            return run_once(cfg, spec.build())
+        return best_of(run, repeats=3)
+
+    clean, clean_s = cell(None)
+    null, null_s = cell(FaultPlan())
+    assert (clean.makespan == null.makespan
+            and clean.total_msgs == null.total_msgs
+            and clean.total_units == null.total_units), \
+        "a null FaultPlan must not perturb the simulation"
+
+    curve = {}
+    for loss in (0.05, 0.1, 0.2):
+        res, dt = cell(FaultPlan(loss=loss))
+        curve[str(loss)] = {
+            "wall_s": round(dt, 4),
+            "wall_ratio": round(dt / clean_s, 2),
+            "makespan_ratio": round(res.makespan / clean.makespan, 2),
+            "lost": res.msgs_lost,
+            "retransmits": res.retransmits,
+        }
+
+    report = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "clean_wall_s": round(clean_s, 4),
+        "null_plan_wall_s": round(null_s, 4),
+        "null_plan_wall_ratio": round(null_s / clean_s, 2),
+        "null_plan_bit_identical": True,
+        "loss_curve": curve,
+    }
+    out = pathlib.Path(__file__).with_name("BENCH_faults.json")
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"clean      {clean_s:8.4f}s")
+    print(f"null plan  {null_s:8.4f}s ({report['null_plan_wall_ratio']:.2f}x,"
+          " bit-identical)")
+    for loss, row in curve.items():
+        print(f"loss={loss:4s} {row['wall_s']:8.4f}s "
+              f"({row['wall_ratio']:.2f}x wall, "
+              f"{row['makespan_ratio']:.2f}x makespan, "
+              f"{row['retransmits']} rexmit)")
+    print(f"wrote {out}")
+
+
 def kernels():
     after = {
         "event_queue_ops_per_s": round(event_queue_rate()),
@@ -185,12 +246,14 @@ def main(argv=None):
     import argparse
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("mode", nargs="?", default="kernels",
-                        choices=("kernels", "harness"))
+                        choices=("kernels", "harness", "faults"))
     parser.add_argument("--jobs", type=int, default=0,
                         help="pool size for harness mode (0 = all cores)")
     args = parser.parse_args(argv)
     if args.mode == "harness":
         harness(args.jobs)
+    elif args.mode == "faults":
+        faults()
     else:
         kernels()
 

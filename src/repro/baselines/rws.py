@@ -43,12 +43,15 @@ class RWSWorker(WorkerProcess):
         self.policy = get_policy(sharing)
         self.rng = RngStream(cfg.seed, "rws", pid)
         self.steal_outstanding = False
+        self._steal_target = -1
         parent, children = detection_tree(pid, n)
         self.det_parent, self.det_children = parent, children
         self.waves = TerminationWaves(
             host=self, parent=parent, children=children,
             get_counters=self._counters, on_terminate=self.finish,
-            should_wave=self._root_trigger, retry_delay=2e-3)
+            should_wave=self._root_trigger, retry_delay=2e-3,
+            counters_vs=self._counters_vs, absorb_dead=self._absorb_dead,
+            n_total=n)
 
     # -- stealing --------------------------------------------------------------
 
@@ -56,10 +59,19 @@ class RWSWorker(WorkerProcess):
         if self.terminated or self.steal_outstanding or self.n == 1:
             self._root_check()
             return
-        victim = self.rng.randrange(self.n - 1)
-        if victim >= self.pid:
-            victim += 1
+        if self._reliable is not None and self.dead:
+            live = [p for p in range(self.n)
+                    if p != self.pid and p not in self.dead]
+            if not live:
+                self._root_check()
+                return
+            victim = live[self.rng.randrange(len(live))]
+        else:
+            victim = self.rng.randrange(self.n - 1)
+            if victim >= self.pid:
+                victim += 1
         self.steal_outstanding = True
+        self._steal_target = victim
         self.stats.steals_attempted += 1
         self.send(victim, STEAL, None)
         self._root_check()
@@ -81,6 +93,7 @@ class RWSWorker(WorkerProcess):
             return
         if msg.kind == NACK:
             self.steal_outstanding = False
+            self._steal_target = -1
             if self.work.is_empty() and not self.terminated:
                 # retry immediately at a fresh victim (round-trip paced)
                 self.on_idle()
@@ -88,6 +101,39 @@ class RWSWorker(WorkerProcess):
 
     def on_work_received(self, msg: Message) -> None:
         self.steal_outstanding = False
+        self._steal_target = -1
+
+    # -- crash repair (only reached when fault injection is active) --------------
+
+    def static_parent(self, pid: int) -> int:
+        return (pid - 1) // 2 if pid > 0 else -1
+
+    def static_children(self, pid: int):
+        return [c for c in (2 * pid + 1, 2 * pid + 2) if c < self.n]
+
+    def _repair_parent(self) -> int:
+        return self.waves.parent
+
+    def _current_children(self):
+        return self.waves.children
+
+    def _set_parent_link(self, pid: int) -> None:
+        self.waves.set_parent(pid)
+
+    def _add_child_link(self, pid: int, size: float) -> None:
+        self.waves.add_child(pid)
+
+    def _drop_child(self, pid: int) -> None:
+        self.waves.child_dead(pid)
+
+    def on_peer_dead(self, pid: int) -> None:
+        if pid == self._steal_target:
+            # the outstanding steal died with the victim; retry elsewhere
+            self._steal_target = -1
+            self.steal_outstanding = False
+            if (not self.terminated and self.work.is_empty()
+                    and not self.cpu_busy):
+                self.on_idle()
 
     def gossip_targets(self) -> list[int]:
         """Bound diffusion over the detection tree (log-diameter, cheap)."""

@@ -23,6 +23,11 @@ class OCLBConfig:
             the sizes off the overlay object instantly — a what-if knob for
             ablations; the results are identical, only the bootstrap
             messages disappear.
+        withdraw: when a node that obtained work still has a request queued
+            elsewhere (at its parent, or over its bridge), send WITHDRAW to
+            cancel it. Stale grants would otherwise deliver work to a node
+            that no longer needs it, feeding transfer churn; disabling this
+            is an ablation knob — results stay correct, traffic grows.
     """
 
     sharing: str = "proportional"

@@ -45,7 +45,7 @@ from ..sim.rng import RngStream
 from ..work.sharing import LinkKind, ShareContext, get_policy
 from .config import OCLBConfig
 from .termination import TerminationWaves
-from .worker import WorkerConfig, WorkerProcess
+from .worker import PING, WorkerConfig, WorkerProcess
 
 REQ = "REQ"
 NOWORK = "NOWORK"
@@ -123,7 +123,10 @@ class OverlayWorker(WorkerProcess):
         self.waves = TerminationWaves(
             host=self, parent=self.parent, children=self.children,
             get_counters=self._counters, on_terminate=self.finish,
-            should_wave=self._root_trigger, retry_delay=self.oclb.wave_retry)
+            should_wave=self._root_trigger, retry_delay=self.oclb.wave_retry,
+            counters_vs=self._counters_vs, absorb_dead=self._absorb_dead,
+            n_total=self.tree.n)
+        self._bridge_rng: Optional[RngStream] = None  # lazy, repairs only
 
     # -- bootstrap ------------------------------------------------------------
 
@@ -131,11 +134,35 @@ class OverlayWorker(WorkerProcess):
         super().start()
         if self.oclb.convergecast:
             self.call_after(0.0, self.sizes.start, tag=f"sizes@{self.pid}")
+            if self.sim.faults is not None:
+                # the converge-cast only sends child -> parent, so a parent
+                # cannot notice a crashed child by itself: probe the
+                # stragglers until the bootstrap completes
+                self.call_after(8 * self.cfg.ack_timeout,
+                                self._bootstrap_sweep,
+                                tag=f"sizes-sweep@{self.pid}")
         else:
             self.ready = True
 
+    def _bootstrap_sweep(self) -> None:
+        if self.terminated or self.sizes.ready:
+            return
+        for c in self.sizes.waiting_children():
+            if c in self.dead:
+                self.sizes.child_dead(c)
+            else:
+                self.send(c, PING, None)
+        self.call_after(8 * self.cfg.ack_timeout, self._bootstrap_sweep,
+                        tag=f"sizes-sweep@{self.pid}")
+
     def _on_ready(self) -> None:
         self.ready = True
+        if self._reliable is not None:
+            # adopted children missed the static SIZE_DOWN cascade; a
+            # repeat to everyone is idempotent
+            from ..overlay.convergecast import SIZE_DOWN
+            for c in self.children:
+                self.send(c, SIZE_DOWN, self.sizes.my_size, body_bytes=8)
         self._serve_pending()
         self._search()
 
@@ -318,12 +345,82 @@ class OverlayWorker(WorkerProcess):
             out.append(self.bridge_target)
         return out
 
+    # -- crash repair (only reached when fault injection is active) ---------------------
+
+    def static_parent(self, pid: int) -> int:
+        return self.tree.parent[pid]
+
+    def static_children(self, pid: int):
+        return self.tree.children[pid]
+
+    def _repair_parent(self) -> int:
+        return self.parent
+
+    def _current_children(self):
+        return self.children
+
+    def _attach_size(self) -> float:
+        return self.sizes.my_size or 0
+
+    def _set_parent_link(self, pid: int) -> None:
+        self.parent = pid
+        self.waves.set_parent(pid)
+        # the upward request queued at the dead parent is gone with it
+        self.up_outstanding = False
+
+    def _add_child_link(self, pid: int, size: float) -> None:
+        if pid not in self.children:
+            self.children.append(pid)
+        self.child_sizes[pid] = size or self.tree.subtree_size[pid]
+        self.waves.add_child(pid)
+
+    def _drop_child(self, pid: int) -> None:
+        if pid in self.children:
+            self.children.remove(pid)
+        self.R.discard(pid)
+        self.child_sizes.pop(pid, None)
+        self.probed.discard(pid)
+        self.sizes.child_dead(pid)
+        self.waves.child_dead(pid)
+
+    def _on_new_parent(self, pid: int, size: float) -> None:
+        if size:
+            self.sizes.note_parent_size(size)
+        if not self.terminated and self.ready:
+            self._search()
+
+    def on_peer_dead(self, pid: int) -> None:
+        if self.bridged and pid == self.bridge_target:
+            self.bridge_outstanding = False
+            self.bridge_target = self._pick_live_bridge()
+        if self.probe_target == pid:
+            self.probe_target = None
+        self.pending = [e for e in self.pending if e.pid != pid]
+        self.R.discard(pid)
+        if not self.terminated and self.ready:
+            self._search()
+
+    def _pick_live_bridge(self) -> Optional[int]:
+        live = [p for p in range(self.tree.n)
+                if p != self.pid and p not in self.dead]
+        if not live:
+            return None
+        if self._bridge_rng is None:
+            self._bridge_rng = RngStream(self.cfg.seed, "bridge-repair",
+                                         self.pid)
+        return self._bridge_rng.choice(live)
+
     # -- termination ----------------------------------------------------------------------
 
     def _root_trigger(self) -> bool:
-        return (self.pid == 0 and not self.terminated and self.ready
-                and self.work.is_empty() and not self.cpu_busy
-                and len(self.R) == len(self.children))
+        if (self.pid != 0 or self.terminated or not self.ready
+                or not self.work.is_empty() or self.cpu_busy):
+            return False
+        if self._reliable is not None:
+            # crashed children never file an upward request; the waves'
+            # coverage counting takes over the completeness role of R
+            return True
+        return len(self.R) == len(self.children)
 
     def _root_check(self) -> None:
         if self._root_trigger():

@@ -1,0 +1,189 @@
+"""Exactly-once message transport over lossy links.
+
+When a :class:`~repro.sim.faults.FaultPlan` is active the fault layer may
+drop or duplicate any transmission, so the protocol state machines (OCLB
+request/serve, termination waves) can no longer rely on the engine's
+exactly-once delivery. Rather than hardening every state machine, the
+worker routes its sends through this channel, which restores exactly-once
+semantics at the transport level:
+
+* every protocol message is wrapped in an ``RMSG (seq, kind, payload)``
+  envelope; the receiver always answers ``RACK seq`` and processes the
+  inner message only the first time a ``(src, seq)`` pair is seen;
+* unacknowledged transfers are retransmitted with exponential backoff
+  (base ``timeout``, doubling up to ``2^retries``). With loss < 1 a live
+  receiver is reached with probability 1, so the protocols above need no
+  changes at all for loss and duplication — only crashes leak through.
+
+Crash handling makes two explicit modelling choices (documented in
+``docs/experiments.md``):
+
+* **Perfect failure detection.** Each retransmission timer first consults
+  the engine's ground truth (:meth:`~repro.sim.engine.Simulator.is_crashed`)
+  before resending. A crashed peer is therefore detected within one
+  ``timeout`` of the first lost exchange, and a live peer is *never*
+  falsely declared dead — the resilient-GLB literature assumes the same
+  (heartbeat-based detectors with conservative timeouts).
+* **A stable receive log.** On peer death the sender must decide, for each
+  unacknowledged WORK transfer, whether the piece reached the peer before
+  the crash (abandon it: the work died with its owner and is accounted as
+  crashed) or not (recover it: merge the piece back locally). The channel
+  resolves this two-generals ambiguity by peeking the dead peer's dedup
+  log — modelling the write-ahead receive log a real fault-tolerant
+  runtime keeps on stable storage. Without it, exact work conservation
+  over the surviving nodes would be unprovable.
+
+The channel only exists when faults are active; clean runs never construct
+one and keep the engine's native delivery path bit-for-bit unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..sim.messages import sized
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .worker import WorkerProcess
+
+RMSG = "RMSG"   # reliable envelope: payload = (seq, inner kind, inner payload)
+RACK = "RACK"   # transport acknowledgement: payload = seq
+
+#: Envelope overhead charged on the wire (seq + kind tag).
+_ENVELOPE_BYTES = 12
+_ACK_BYTES = 4
+
+#: Inner kind whose payload carries a work piece — tracked for the
+#: termination waves ("work in flight" counts as active) and recovered on
+#: peer death. Literal to avoid a circular import with ``worker``.
+_WORK = "WORK"
+
+
+class _Transfer:
+    """One in-flight reliable send awaiting acknowledgement."""
+
+    __slots__ = ("seq", "dst", "kind", "payload", "body_bytes", "attempts",
+                 "done")
+
+    def __init__(self, seq: int, dst: int, kind: str, payload: Any,
+                 body_bytes: int) -> None:
+        self.seq = seq
+        self.dst = dst
+        self.kind = kind
+        self.payload = payload
+        self.body_bytes = body_bytes
+        self.attempts = 0
+        self.done = False
+
+
+class ReliableChannel:
+    """Per-worker reliable transport; see module docstring."""
+
+    def __init__(self, host: "WorkerProcess", timeout: float = 2e-3,
+                 retries: int = 5) -> None:
+        self.host = host
+        self.timeout = timeout
+        self.retries = retries
+        self._next_seq = 0
+        self._pending: dict[int, _Transfer] = {}
+        self._seen: dict[int, set[int]] = {}   # src -> delivered seqs
+        self._pending_work = 0
+
+    # -- sender side ---------------------------------------------------------
+
+    def send(self, dst: int, kind: str, payload: Any,
+             body_bytes: int) -> None:
+        """Ship one message with at-least-once delivery to a live peer."""
+        seq = self._next_seq
+        self._next_seq += 1
+        xf = _Transfer(seq, dst, kind, payload, body_bytes)
+        self._pending[seq] = xf
+        if kind == _WORK:
+            self._pending_work += 1
+        self._transmit(xf)
+        self._schedule(xf)
+
+    def on_ack(self, seq: int) -> None:
+        """An RACK arrived; settle the matching transfer (dups are no-ops)."""
+        xf = self._pending.pop(seq, None)
+        if xf is None:
+            return
+        xf.done = True
+        if xf.kind == _WORK:
+            self._pending_work -= 1
+
+    def has_pending_work(self) -> bool:
+        """True while any WORK transfer is unacknowledged (counts as active
+        for termination detection: the piece is neither here nor there)."""
+        return self._pending_work > 0
+
+    def pending_to(self, pid: int) -> list[_Transfer]:
+        """Unacknowledged transfers addressed to ``pid`` (test hook)."""
+        return [xf for xf in self._pending.values() if xf.dst == pid]
+
+    # -- receiver side -------------------------------------------------------
+
+    def register(self, src: int, seq: int) -> bool:
+        """Record a delivery; False when (src, seq) was already processed."""
+        seen = self._seen.setdefault(src, set())
+        if seq in seen:
+            return False
+        seen.add(seq)
+        return True
+
+    def was_delivered(self, src: int, seq: int) -> bool:
+        """Whether a transfer from ``src`` reached this node (stable log)."""
+        return seq in self._seen.get(src, ())
+
+    # -- internals -----------------------------------------------------------
+
+    def _transmit(self, xf: _Transfer) -> None:
+        host = self.host
+        host.sim.transmit(sized(RMSG, host.pid, xf.dst,
+                                (xf.seq, xf.kind, xf.payload),
+                                xf.body_bytes + _ENVELOPE_BYTES))
+
+    def _schedule(self, xf: _Transfer) -> None:
+        delay = self.timeout * (1 << min(xf.attempts, self.retries))
+        self.host.call_after(delay, lambda: self._retry(xf),
+                             tag=f"rexmit@{self.host.pid}")
+
+    def _retry(self, xf: _Transfer) -> None:
+        if xf.done:
+            return
+        if self.host.sim.is_crashed(xf.dst):
+            # perfect failure detection: consult ground truth instead of
+            # burning the full retry ladder against a dead peer
+            self._declare_dead(xf.dst)
+            return
+        xf.attempts += 1
+        self.host.stats.retransmits += 1
+        self._transmit(xf)
+        self._schedule(xf)
+
+    def _declare_dead(self, pid: int) -> None:
+        """Settle every transfer to a crashed peer and notify the host.
+
+        WORK pieces the peer never logged are recovered (merged back by the
+        host); everything else — and WORK the peer *did* receive before
+        crashing — is abandoned.
+        """
+        recovered = []
+        for xf in [x for x in self._pending.values() if x.dst == pid]:
+            del self._pending[xf.seq]
+            xf.done = True
+            if xf.kind == _WORK:
+                self._pending_work -= 1
+                if not self._peer_logged(pid, xf.seq):
+                    recovered.append(xf.payload[0])  # the work piece
+        self.host.channel_peer_dead(pid, recovered)
+
+    def _peer_logged(self, pid: int, seq: int) -> bool:
+        # the dead peer's dedup set stands in for a stable receive log;
+        # reading it post-mortem is the modelled "recovery from the log"
+        peer = self.host.sim.processes[pid]
+        ch = getattr(peer, "_reliable", None)
+        return ch is not None and ch.was_delivered(self.host.pid, seq)
+
+
+__all__ = ["ReliableChannel", "RMSG", "RACK"]

@@ -13,9 +13,30 @@ spanning tree carries verification waves initiated by the root:
   happened in between, and S == R proves no grant is in flight, so global
   quiescence held throughout.
 
-The tests attack this with random latency jitter and adversarial bridges;
-a false positive would surface as lost work (count mismatch) or a WORK
-message after termination (a hard simulator error).
+Under fault injection (``sim.faults`` set) the waves harden themselves;
+none of this costs anything in clean runs, whose message formats and event
+sequences stay bit-for-bit identical:
+
+* ``WAVE`` additionally carries the root's current *dead set* and
+  ``WAVE_R`` a count of the live nodes reached. A wave is only clean when
+  that count equals ``n - |dead|`` (**coverage**): a live node the wave
+  missed — e.g. an orphan whose parent crashed mid-splice — keeps the wave
+  dirty, so termination cannot be declared while anyone is unaccounted
+  for. Two consecutive clean waves must also agree on the dead set.
+* per-node counters exclude traffic exchanged with dead peers (both sides
+  of each pair consistently, using per-peer counters), so work that died
+  with its owner cannot unbalance S and R forever;
+* a node whose parent died answers the wave to whoever actually sent it
+  (its adopter), and the root aborts a wave by timeout when a crash ate
+  part of the flood, retrying with its updated dead set;
+* ``active`` includes unacknowledged WORK transfers (the piece is neither
+  counted at the sender nor the receiver while in flight on the reliable
+  channel).
+
+The tests attack this with random latency jitter, adversarial bridges,
+message loss/duplication and crash-stop failures; a false positive would
+surface as lost work (count mismatch) or a WORK message after termination
+(a hard simulator error).
 """
 
 from __future__ import annotations
@@ -45,13 +66,24 @@ class TerminationWaves:
             (or, at the root, when it decides).
         should_wave: root-only predicate — keep waving while it holds.
         retry_delay: pause between inconclusive waves (virtual seconds).
+        counters_vs: fault-mode sampler — like ``get_counters`` but
+            excluding traffic with the given frozenset of dead pids.
+        absorb_dead: fault-mode callback notifying the host of dead pids
+            learnt from a wave payload (no relay needed: the news came
+            from the root).
+        n_total: total process count, needed for wave coverage checks in
+            fault mode.
     """
 
     def __init__(self, host: SimProcess, parent: int, children: list[int],
                  get_counters: Callable[[], Counters],
                  on_terminate: Callable[[], None],
                  should_wave: Optional[Callable[[], bool]] = None,
-                 retry_delay: float = 2e-3) -> None:
+                 retry_delay: float = 2e-3,
+                 counters_vs: Optional[
+                     Callable[[frozenset], Counters]] = None,
+                 absorb_dead: Optional[Callable[[tuple], None]] = None,
+                 n_total: int = 0) -> None:
         self.host = host
         self.parent = parent
         self.children = list(children)
@@ -59,14 +91,23 @@ class TerminationWaves:
         self.on_terminate = on_terminate
         self.should_wave = should_wave or (lambda: True)
         self.retry_delay = retry_delay
+        self.counters_vs = counters_vs
+        self.absorb_dead = absorb_dead
+        self.n_total = n_total
         self.is_root = parent < 0
         self.wave_seq = 0
         self._collecting = False
         self._acc_s = 0
         self._acc_r = 0
         self._acc_active = False
-        self._missing = 0
+        self._acc_n = 0                       # live nodes covered (faults)
+        self._waiting: set[int] = set()
+        self._wave_dead: frozenset = frozenset()
+        self._wave_from = parent              # who to answer this wave to
+        self._answered_seq = -1
+        self._last_answer: Optional[tuple] = None
         self._last_clean_s: Optional[int] = None
+        self._last_clean_dead: Optional[frozenset] = None
         self._retry_pending = False
         self._backoff = 1.0
         self.terminated = False
@@ -83,10 +124,34 @@ class TerminationWaves:
         self.wave_seq += 1
         self.waves_run += 1
         self._begin_collect()
+        if self._collecting and self._faulted():
+            # a crash can eat part of the flood; time the wave out and
+            # retry with whatever the root has learnt in the meantime
+            self._schedule_abort(self.wave_seq)
 
     def declare(self) -> None:
         """Declare termination directly (protocols with their own proof)."""
         self._terminate()
+
+    # -- overlay repair hooks (fault mode) -------------------------------------
+
+    def child_dead(self, pid: int) -> None:
+        """A wave child crashed: stop expecting its answers."""
+        if pid in self.children:
+            self.children.remove(pid)
+        if self._collecting:
+            self._waiting.discard(pid)
+            if not self._waiting:
+                self._complete()
+
+    def add_child(self, pid: int) -> None:
+        """Adopt a wave child (it joins from the *next* wave onward)."""
+        if pid not in self.children:
+            self.children.append(pid)
+
+    def set_parent(self, pid: int) -> None:
+        """Re-parent after a splice (the root never re-parents)."""
+        self.parent = pid
 
     # -- message plumbing ----------------------------------------------------------
 
@@ -95,18 +160,41 @@ class TerminationWaves:
 
     def handle(self, msg: Message) -> bool:
         if msg.kind == WAVE:
-            self.wave_seq = msg.payload
+            payload = msg.payload
+            if isinstance(payload, tuple):       # fault mode: (seq, dead)
+                seq, dead = payload
+                if self.absorb_dead is not None:
+                    self.absorb_dead(dead)
+                if seq <= self.wave_seq:
+                    # duplicate or stale flood (an adopter re-floods after
+                    # a mid-wave splice, or an aborted wave's tail arrives
+                    # late): repeat the recorded answer, never re-collect
+                    if self._answered_seq == seq and self._last_answer:
+                        self.host.send(msg.src, WAVE_R, self._last_answer,
+                                       body_bytes=32)
+                    return True
+                self.wave_seq = seq
+                self._wave_dead = frozenset(dead)
+                self._wave_from = msg.src
+            else:
+                self.wave_seq = payload
             self._begin_collect()
             return True
         if msg.kind == WAVE_R:
-            seq, s, r, active = msg.payload
+            payload = msg.payload
+            if len(payload) == 5:                # fault mode: + node count
+                seq, s, r, active, count = payload
+            else:
+                seq, s, r, active = payload
+                count = 0
             if seq != self.wave_seq or not self._collecting:
                 return True  # stale reply from an aborted wave
             self._acc_s += s
             self._acc_r += r
             self._acc_active = self._acc_active or active
-            self._missing -= 1
-            if self._missing == 0:
+            self._acc_n += count
+            self._waiting.discard(msg.src)
+            if not self._waiting:
                 self._complete()
             return True
         if msg.kind == TERM:
@@ -116,32 +204,67 @@ class TerminationWaves:
 
     # -- internals -----------------------------------------------------------------
 
+    def _faulted(self) -> bool:
+        sim = self.host.sim
+        return sim is not None and sim.faults is not None
+
     def _begin_collect(self) -> None:
         self._collecting = True
-        s, r, active = self.get_counters()
+        if self._faulted():
+            if self.is_root:
+                self._wave_dead = frozenset(getattr(self.host, "dead", ()))
+            s, r, active = self.counters_vs(self._wave_dead)
+            self._acc_n = 1
+            payload: object = (self.wave_seq, tuple(sorted(self._wave_dead)))
+            body = 8 + 8 * len(self._wave_dead)
+        else:
+            s, r, active = self.get_counters()
+            payload = self.wave_seq
+            body = 8
         self._acc_s, self._acc_r, self._acc_active = s, r, active
-        self._missing = len(self.children)
+        self._waiting = set(self.children)
         for c in self.children:
-            self.host.send(c, WAVE, self.wave_seq, body_bytes=8)
-        if self._missing == 0:
+            self.host.send(c, WAVE, payload, body_bytes=body)
+        if not self._waiting:
             self._complete()
 
     def _complete(self) -> None:
         self._collecting = False
+        faulted = self._faulted()
         if not self.is_root:
-            self.host.send(self.parent, WAVE_R,
-                           (self.wave_seq, self._acc_s, self._acc_r,
-                            self._acc_active), body_bytes=24)
+            if faulted:
+                answer = (self.wave_seq, self._acc_s, self._acc_r,
+                          self._acc_active, self._acc_n)
+                self._answered_seq = self.wave_seq
+                self._last_answer = answer
+                self.host.send(self._wave_from, WAVE_R, answer,
+                               body_bytes=32)
+            else:
+                self.host.send(self.parent, WAVE_R,
+                               (self.wave_seq, self._acc_s, self._acc_r,
+                                self._acc_active), body_bytes=24)
             return
         clean = (not self._acc_active) and self._acc_s == self._acc_r
-        if clean and self._last_clean_s == self._acc_s:
+        if faulted:
+            dead_now = frozenset(getattr(self.host, "dead", ()))
+            # coverage: every live node must have answered, and the wave's
+            # dead set must still be the whole truth
+            clean = (clean and self._acc_n == self.n_total - len(dead_now)
+                     and self._wave_dead == dead_now)
+            confirmed = (clean and self._last_clean_s == self._acc_s
+                         and self._last_clean_dead == self._wave_dead)
+        else:
+            confirmed = clean and self._last_clean_s == self._acc_s
+        if confirmed:
             self._terminate()
             return
         if clean:
             self._last_clean_s = self._acc_s
+            self._last_clean_dead = self._wave_dead
             self._backoff = 1.0  # confirmation wave should follow promptly
         else:
             self._last_clean_s = None
+            self._last_clean_dead = None
             # exponential backoff: an active system does not need the root
             # to keep flooding verification waves
             self._backoff = min(self._backoff * 2.0, 64.0)
@@ -158,6 +281,22 @@ class TerminationWaves:
 
         self.host.call_after(self.retry_delay * self._backoff, retry,
                              tag=f"wave-retry@{self.host.pid}")
+
+    def _schedule_abort(self, seq: int) -> None:
+        def fire() -> None:
+            if self.terminated or not self._collecting:
+                return
+            if self.wave_seq != seq:
+                return
+            self._collecting = False
+            self._backoff = min(self._backoff * 2.0, 64.0)
+            self._schedule_retry()
+
+        # generously above the channel's crash-detection latency so the
+        # abort only fires for genuinely stuck waves
+        self.host.call_after(max(16 * self.retry_delay, 40e-3) *
+                             self._backoff, fire,
+                             tag=f"wave-abort@{self.host.pid}")
 
     def _terminate(self) -> None:
         if self.terminated:

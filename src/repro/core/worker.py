@@ -10,21 +10,49 @@ for all protocols as monotone gossip over protocol-chosen targets: a worker
 that improves its bound pushes it to ``gossip_targets()``; a received value
 that improves the local bound is forwarded onward; stale values die
 immediately. For UTS there is nothing to share and the machinery is inert.
+
+Fault tolerance is implemented here once as well, and is entirely inert in
+clean runs (``sim.faults is None`` gates every hook):
+
+* all sends route through a :class:`~repro.core.reliable.ReliableChannel`
+  (exactly-once over lossy links, crash detection on its retry timers);
+* per-peer WORK counters (``sent_to`` / ``recv_from``) let the termination
+  waves exclude traffic with dead peers pair-consistently;
+* a generic repair protocol — ``DEAD`` gossip, ``ATTACH`` (orphan joins
+  its nearest live static ancestor) and ``ADOPT`` (an adopter claims the
+  live descendants of a dead child) — re-knits the detection/overlay tree
+  around crashed nodes. Protocols expose their tree through the
+  ``static_parent`` / ``static_children`` / link hooks below; because
+  death knowledge is true-only (perfect detection) every node computes
+  the same unique nearest-live-ancestor assignment, so the repair is
+  idempotent and convergent.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Optional
 
 from ..apps.base import Application
-from ..sim.messages import Message
+from ..sim.messages import Message, sized
 from ..sim.process import SimProcess
 from ..work.base import WorkItem
+from .reliable import RACK, RMSG, ReliableChannel
+from .termination import TERM
 
 #: Message kinds owned by the base worker.
 WORK = "WORK"
 BOUND = "BOUND"
+
+#: Fault-protocol kinds (only ever on the wire when faults are active).
+DEAD = "DEAD"        # gossip: payload = a crashed pid
+ATTACH = "ATTACH"    # orphan -> new parent: (my subtree size, my dead set)
+ADOPT = "ADOPT"      # adopter -> orphan:    (my subtree size, my dead set)
+PING = "PING"        # liveness probe (the reliable channel does the work)
+
+#: Kinds a *terminated* node still answers, with TERM — a late requester
+#: whose path to the root crashed learns termination this way.
+_TERM_REPLY = frozenset({"REQ", "STEAL", ATTACH})
 
 
 @dataclass(slots=True)
@@ -35,6 +63,8 @@ class WorkerConfig:
     gossip_bounds: bool = True   # diffuse shared-knowledge improvements
     seed: int = 0                # protocol randomness root
     speed: float = 1.0           # relative CPU speed (heterogeneity knob)
+    ack_timeout: float = 2e-3    # reliable-channel base retransmit delay
+    ack_retries: int = 5         # backoff doublings before the delay caps
 
 
 class WorkerProcess(SimProcess):
@@ -52,6 +82,15 @@ class WorkerProcess(SimProcess):
         #: optional repro.sim.trace.Tracer; set by the harness, zero cost
         #: when absent
         self.tracer = None
+        # fault-tolerance state; pure memory, only touched when a
+        # FaultPlan is active (self._reliable is then non-None)
+        self._reliable: Optional[ReliableChannel] = None
+        self.dead: set[int] = set()
+        self.sent_to: dict[int, int] = {}    # pid -> WORK messages sent
+        self.recv_from: dict[int, int] = {}  # pid -> WORK messages received
+        #: WORK pieces from crashed peers that arrived after termination;
+        #: dropped from the run but kept for the conservation accounting
+        self.crash_dropped: list[WorkItem] = []
 
     # -- protocol hooks ---------------------------------------------------------
 
@@ -71,9 +110,49 @@ class WorkerProcess(SimProcess):
         """Where to diffuse shared-knowledge improvements."""
         return []
 
+    # -- repair hooks (protocols with a detection/overlay tree override) --------
+
+    def static_parent(self, pid: int) -> int:
+        """Original tree parent of ``pid`` (-1 at the root)."""
+        return -1
+
+    def static_children(self, pid: int):
+        """Original tree children of ``pid``."""
+        return ()
+
+    def _repair_parent(self) -> int:
+        """Current (possibly spliced) tree parent."""
+        return -1
+
+    def _current_children(self):
+        """Current (possibly repaired) tree children."""
+        return ()
+
+    def _attach_size(self) -> float:
+        """Subtree size advertised in ATTACH/ADOPT (0 = unknown)."""
+        return 0
+
+    def _set_parent_link(self, pid: int) -> None:
+        """Point the tree parent link at ``pid`` (splice)."""
+
+    def _add_child_link(self, pid: int, size: float) -> None:
+        """Accept ``pid`` as an adopted tree child."""
+
+    def _drop_child(self, pid: int) -> None:
+        """Remove a crashed tree child from all bookkeeping."""
+
+    def _on_new_parent(self, pid: int, size: float) -> None:
+        """An ADOPT settled our parent link; resume protocol activity."""
+
+    def on_peer_dead(self, pid: int) -> None:
+        """Protocol-specific cleanup for a crashed peer (any role)."""
+
     # -- lifecycle -----------------------------------------------------------------
 
     def start(self) -> None:
+        if self.sim.faults is not None:
+            self._reliable = ReliableChannel(self, self.cfg.ack_timeout,
+                                             self.cfg.ack_retries)
         # everything starts through the event loop so subclass start() code
         # runs for every process before the first quantum fires
         self.call_after(0.0, self._drain,
@@ -132,28 +211,69 @@ class WorkerProcess(SimProcess):
 
     # -- work transfer ----------------------------------------------------------------
 
+    def send(self, dst: int, kind: str, payload: Any = None,
+             body_bytes: int = 0) -> None:
+        ch = self._reliable
+        if ch is None:
+            super().send(dst, kind, payload, body_bytes)
+            return
+        if dst in self.dead:
+            return  # talking to the dead is pointless (WORK guarded earlier)
+        ch.send(dst, kind, payload, body_bytes)
+
     def send_work(self, dst: int, piece: WorkItem, channel: str = "") -> None:
         """Ship a work piece; counted for the termination-detection waves."""
+        if self._reliable is not None:
+            if dst in self.dead:
+                # never hand work to a peer known to be dead — keep it
+                self.work.merge(piece)
+                return
+            self.sent_to[dst] = self.sent_to.get(dst, 0) + 1
         self.stats.work_msgs_sent += 1
         self.send(dst, WORK, (piece, channel),
                   body_bytes=piece.encoded_bytes())
 
     def on_message(self, msg: Message) -> None:
+        ch = self._reliable
+        if ch is not None:
+            if msg.kind == RACK:
+                ch.on_ack(msg.payload)
+                return
+            if msg.kind == RMSG:
+                seq, inner_kind, inner_payload = msg.payload
+                if msg.src not in self.dead:
+                    # transport ack: plain send, the envelope stops here
+                    self.sim.transmit(sized(RACK, self.pid, msg.src, seq, 4))
+                if not ch.register(msg.src, seq):
+                    return  # duplicate delivery: already processed once
+                msg = sized(inner_kind, msg.src, self.pid, inner_payload, 0)
         if self.tracer is not None:
             from ..sim.trace import MESSAGE
             self.tracer.record(self.now, self.pid, MESSAGE, 1.0)
         if self.terminated:
             if msg.kind == WORK:
+                if ch is not None and msg.src in self.dead:
+                    # a transfer the peer launched before crashing, landing
+                    # after we terminated: the wave proof already excluded
+                    # this pair, so drop it — but keep the piece visible to
+                    # the conservation accounting
+                    self.crash_dropped.append(msg.payload[0])
+                    return
                 # a correct protocol never terminates with work in flight;
                 # losing it silently would corrupt results, so fail loudly
                 from ..sim.errors import SimRuntimeError
                 raise SimRuntimeError(
                     f"worker {self.pid} received WORK after termination")
+            if ch is not None and msg.kind in _TERM_REPLY:
+                # late requester cut off from the root by crashes: tell it
+                self.send(msg.src, TERM, None)
             return
         if msg.kind == WORK:
             piece, _channel = msg.payload
             self.stats.work_msgs_received += 1
             self.stats.steals_successful += 1
+            if ch is not None:
+                self.recv_from[msg.src] = self.recv_from.get(msg.src, 0) + 1
             self.work.merge(piece)
             self.on_work_received(msg)
             return
@@ -162,6 +282,18 @@ class WorkerProcess(SimProcess):
                     self.shared, msg.payload):
                 self._gossip(exclude=msg.src)
             return
+        if ch is not None:
+            if msg.kind == DEAD:
+                self.learn_dead(msg.payload)
+                return
+            if msg.kind == ATTACH:
+                self._on_attach(msg)
+                return
+            if msg.kind == ADOPT:
+                self._on_adopt(msg)
+                return
+            if msg.kind == PING:
+                return  # the channel round-trip was the point
         self.handle(msg)
 
     def _gossip(self, exclude: int) -> None:
@@ -174,5 +306,128 @@ class WorkerProcess(SimProcess):
             if t != exclude and t != self.pid:
                 self.send(t, BOUND, value, body_bytes=8)
 
+    # -- crash handling (never reached in clean runs) ---------------------------
 
-__all__ = ["WorkerProcess", "WorkerConfig", "WORK", "BOUND"]
+    def channel_peer_dead(self, pid: int, recovered: list[WorkItem]) -> None:
+        """The reliable channel detected a crashed peer.
+
+        ``recovered`` holds the WORK pieces we sent it that provably never
+        arrived (absent from its receive log): merge them back — the work
+        changes hands back to us, conservation intact.
+        """
+        for piece in recovered:
+            self.work.merge(piece)
+        self.learn_dead(pid)
+        if recovered and not self._cpu_busy and not self.terminated:
+            self._drain()  # the recovered work restarts the compute loop
+
+    def learn_dead(self, pid: int, relay: bool = True) -> None:
+        """Absorb the (true) fact that ``pid`` crashed; idempotent."""
+        if pid == self.pid or pid in self.dead:
+            return
+        self.dead.add(pid)
+        self._react_dead(pid)
+        if relay:
+            p = self._repair_parent()
+            if p >= 0 and p not in self.dead:
+                self.send(p, DEAD, pid, body_bytes=8)
+
+    def _absorb_dead(self, pids) -> None:
+        """Dead-set news from a wave payload (root-originated: no relay)."""
+        for pid in pids:
+            self.learn_dead(pid, relay=False)
+
+    def _react_dead(self, pid: int) -> None:
+        if pid == self._repair_parent():
+            self._splice_up()
+        if pid in self._current_children():
+            self._drop_child(pid)
+        if self._nearest_live_ancestor_of(pid) == self.pid:
+            self._adopt_descendants(pid)
+        self.on_peer_dead(pid)
+
+    def _nearest_live_ancestor_of(self, pid: int) -> int:
+        p = self.static_parent(pid)
+        while p > 0 and p in self.dead:
+            p = self.static_parent(p)
+        return p
+
+    def _splice_up(self) -> None:
+        """Our parent died: re-attach to the nearest live static ancestor
+        (the root cannot crash, so one always exists)."""
+        np = self._nearest_live_ancestor_of(self.pid)
+        self._set_parent_link(np)
+        self.stats.repairs += 1
+        if self.tracer is not None:
+            from ..sim.trace import REPAIR
+            self.tracer.record(self.now, self.pid, REPAIR, np)
+        self.send(np, ATTACH,
+                  (self._attach_size(), tuple(sorted(self.dead))),
+                  body_bytes=16 + 8 * len(self.dead))
+
+    def _adopt_descendants(self, dead_pid: int) -> None:
+        """Claim the live static descendants of a dead child (recursing
+        through chains of dead nodes)."""
+        for g in self.static_children(dead_pid):
+            if g in self.dead:
+                self._adopt_descendants(g)
+            elif self.terminated:
+                # adopting into a terminated subtree means one thing only:
+                # the orphan missed the news
+                self.send(g, TERM, None)
+            elif g not in self._current_children():
+                self._add_child_link(g, 0)
+                self.stats.repairs += 1
+                if self.tracer is not None:
+                    from ..sim.trace import REPAIR
+                    self.tracer.record(self.now, self.pid, REPAIR, g)
+                self.send(g, ADOPT,
+                          (self._attach_size(), tuple(sorted(self.dead))),
+                          body_bytes=16 + 8 * len(self.dead))
+
+    def _on_attach(self, msg: Message) -> None:
+        size, dead = msg.payload
+        for d in dead:
+            self.learn_dead(d)  # the orphan may know deaths we missed
+        if msg.src in self.dead:
+            return  # raced with the orphan's own crash
+        if msg.src not in self._current_children():
+            self._add_child_link(msg.src, size)
+            self.stats.repairs += 1
+        # answer with our size so the orphan's sharing fractions stay sane
+        self.send(msg.src, ADOPT,
+                  (self._attach_size(), tuple(sorted(self.dead))),
+                  body_bytes=16 + 8 * len(self.dead))
+
+    def _on_adopt(self, msg: Message) -> None:
+        size, dead = msg.payload
+        # the adopter sits toward the root and already gossips these
+        for d in dead:
+            self.learn_dead(d, relay=False)
+        if msg.src in self.dead:
+            return
+        if msg.src != self._repair_parent():
+            self._set_parent_link(msg.src)
+            self.stats.repairs += 1
+        self._on_new_parent(msg.src, size)
+
+    def _counters_vs(self, dead: frozenset) -> tuple[int, int, bool]:
+        """Wave counters excluding traffic with dead peers (pair-consistent
+        with the exclusion every other live node applies)."""
+        st = self.stats
+        s = st.work_msgs_sent
+        r = st.work_msgs_received
+        for p, c in self.sent_to.items():
+            if p in dead:
+                s -= c
+        for p, c in self.recv_from.items():
+            if p in dead:
+                r -= c
+        active = (not self.work.is_empty() or self.cpu_busy
+                  or (self._reliable is not None
+                      and self._reliable.has_pending_work()))
+        return s, r, active
+
+
+__all__ = ["WorkerProcess", "WorkerConfig", "WORK", "BOUND", "DEAD",
+           "ATTACH", "ADOPT", "PING"]

@@ -99,6 +99,14 @@ def _oclb_desc(cfg: RunConfig) -> tuple:
                  for f in dataclasses.fields(cfg.oclb))
 
 
+def _faults_desc(cfg: RunConfig) -> tuple:
+    if cfg.faults is None or cfg.faults.is_null():
+        # a null plan runs the exact clean code path; share its entries
+        return ("clean",)
+    f = cfg.faults
+    return (f.crashes, f.loss, f.dup, f.blackouts)
+
+
 def cell_key(cfg: RunConfig, spec) -> str:
     """The content hash addressing one ``(RunConfig, app spec)`` cell."""
     payload = (
@@ -108,7 +116,7 @@ def cell_key(cfg: RunConfig, spec) -> str:
         cfg.protocol, cfg.n, cfg.dmax, cfg.sharing, cfg.quantum, cfg.seed,
         cfg.handler_cost, cfg.jitter, cfg.mw_update_every, cfg.max_events,
         cfg.speed_spread, cfg.speed_placement,
-        _network_desc(cfg), _oclb_desc(cfg),
+        _network_desc(cfg), _oclb_desc(cfg), _faults_desc(cfg),
     )
     return hashlib.sha256(repr(payload).encode()).hexdigest()
 

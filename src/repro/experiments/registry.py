@@ -5,7 +5,8 @@ from __future__ import annotations
 from typing import Callable
 
 from ..sim.errors import SimConfigError
-from . import fig1, fig2, fig3, fig4, fig5, granularity, table1, table2
+from . import (fig1, fig2, fig3, fig4, fig5, faults, granularity, table1,
+               table2)
 from .base import ExperimentReport
 from .config import Scale
 
@@ -18,11 +19,12 @@ EXPERIMENTS: dict[str, Callable[[Scale], ExperimentReport]] = {
     "fig4": fig4.run,
     "fig5": fig5.run,
     "granularity": granularity.run,
+    "faults": faults.run,
 }
 
 #: Paper order (plus the reproduction's own regime study), used by --all.
 ORDER = ("table1", "fig1", "fig2", "table2", "fig3", "fig4", "fig5",
-         "granularity")
+         "granularity", "faults")
 
 
 def get_experiment(exp_id: str) -> Callable[[Scale], ExperimentReport]:

@@ -34,6 +34,7 @@ from ..overlay.bridges import add_bridges
 from ..overlay.tree import deterministic_tree, random_tree
 from ..sim.engine import Simulator
 from ..sim.errors import SimConfigError
+from ..sim.faults import FaultPlan
 from ..sim.network import NetworkModel, grid5000
 from ..sim.rng import RngStream
 from ..sim.stats import RunStats
@@ -64,6 +65,8 @@ class RunConfig:
     #: assigns the fastest workers to the lowest pids — the interior of a
     #: TD overlay (heterogeneity-aware placement, the paper's future work)
     speed_placement: str = "random"
+    #: fault injection (crashes / loss / duplication); None = clean run
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -76,6 +79,17 @@ class RunConfig:
         if self.speed_placement not in ("random", "fast-interior"):
             raise SimConfigError(
                 f"unknown speed placement {self.speed_placement!r}")
+        if (self.faults is not None and not self.faults.is_null()
+                and self.protocol in ("MW", "AHMW", "LIFELINE")):
+            # only the peer protocols carry the self-healing machinery;
+            # the single-master baselines have no story for a dead master
+            raise SimConfigError(
+                f"{self.protocol} does not support fault injection")
+        if self.faults is not None:
+            for pid, _t in self.faults.crashes:
+                if pid >= self.n:
+                    raise SimConfigError(
+                        f"fault plan crashes pid {pid} but n = {self.n}")
 
 
 @dataclass(slots=True)
@@ -94,6 +108,12 @@ class ExperimentResult:
     optimum_perm: Optional[tuple] = None
     redundancy: int = 0                # MW: positions explored twice
     events: int = 0
+    # fault-injection totals (all 0 in clean runs)
+    msgs_lost: int = 0
+    msgs_duplicated: int = 0
+    retransmits: int = 0
+    crashes: int = 0
+    repairs: int = 0
 
     def efficiency(self, t_seq: float, workers: Optional[int] = None) -> float:
         """Parallel efficiency vs a sequential reference time."""
@@ -173,7 +193,7 @@ def run_once(cfg: RunConfig, app: Application,
     """
     network = cfg.network if cfg.network is not None else grid5000(
         handler_cost=cfg.handler_cost, jitter=cfg.jitter)
-    sim = Simulator(network=network, seed=cfg.seed)
+    sim = Simulator(network=network, seed=cfg.seed, faults=cfg.faults)
     workers = build_workers(sim, cfg, app)
     if tracer is not None:
         for w in workers:
@@ -195,6 +215,7 @@ def run_once(cfg: RunConfig, app: Application,
                     and getattr(w.shared, "perm_value", None) == optimum):
                 optimum_perm = w.shared.perm
                 break
+    lost, dup, rexmit, crashes, repairs = stats.fault_totals()
     return ExperimentResult(
         protocol=cfg.protocol,
         n=cfg.n,
@@ -208,6 +229,11 @@ def run_once(cfg: RunConfig, app: Application,
         optimum_perm=optimum_perm,
         redundancy=redundancy,
         events=stats.events_fired,
+        msgs_lost=lost,
+        msgs_duplicated=dup,
+        retransmits=rexmit,
+        crashes=crashes,
+        repairs=repairs,
     )
 
 

@@ -75,6 +75,27 @@ class SizeService:
             return True
         return False
 
+    # -- fault hooks (only called when fault injection is active) -------------
+
+    def child_dead(self, pid: int) -> None:
+        """Stop waiting for a crashed child's SIZE_UP.
+
+        Its subtree's contribution is simply missing — post-crash sizes are
+        approximate, which is fine: they only modulate sharing fractions.
+        """
+        self._waiting.discard(pid)
+        if not self._waiting and self.my_size is None:
+            self._complete_up()
+
+    def waiting_children(self) -> tuple:
+        """Children whose SIZE_UP is still outstanding (liveness probing)."""
+        return tuple(self._waiting)
+
+    def note_parent_size(self, size: float) -> None:
+        """Learn the parent-subtree size out of band (from an ADOPT)."""
+        self.parent_size = size
+        self._maybe_ready()
+
     # -- internals -----------------------------------------------------------
 
     def _complete_up(self) -> None:

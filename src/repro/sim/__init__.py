@@ -9,6 +9,7 @@ virtual time. See DESIGN.md §2 and §6 for the model and its justification.
 from .engine import Simulator
 from .errors import SimConfigError, SimDeadlockError, SimError, SimRuntimeError
 from .events import Event, EventQueue
+from .faults import FaultController, FaultPlan
 from .messages import HEADER_BYTES, Message, sized
 from .network import ClusterSpec, NetworkModel, grid5000, uniform_network
 from .process import SimProcess
@@ -20,5 +21,5 @@ __all__ = [
     "HEADER_BYTES", "ClusterSpec", "NetworkModel", "grid5000",
     "uniform_network", "RngStream", "derive_seed", "mix64", "splitmix64",
     "spawn_numpy", "ProcessStats", "RunStats", "SimError", "SimConfigError",
-    "SimRuntimeError", "SimDeadlockError",
+    "SimRuntimeError", "SimDeadlockError", "FaultPlan", "FaultController",
 ]

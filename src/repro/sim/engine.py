@@ -6,6 +6,7 @@ from typing import Optional
 
 from .errors import SimConfigError, SimDeadlockError, SimRuntimeError
 from .events import EventQueue
+from .faults import FaultController, FaultPlan
 from .messages import Message
 from .network import NetworkModel, uniform_network
 from .process import SimProcess
@@ -37,10 +38,17 @@ class Simulator:
     """
 
     def __init__(self, network: Optional[NetworkModel] = None, seed: int = 0,
-                 auto_place: bool = True, debug: bool = False) -> None:
+                 auto_place: bool = True, debug: bool = False,
+                 faults: Optional[FaultPlan] = None) -> None:
         self.network = network if network is not None else uniform_network()
         self.seed = seed
         self.debug = debug
+        # A null plan normalises to no controller at all: with
+        # ``self.faults is None`` every fault hook below is one dead branch
+        # and the engine behaves bit-identically to the pre-fault code.
+        self.faults: Optional[FaultController] = (
+            FaultController(faults, seed)
+            if faults is not None and not faults.is_null() else None)
         self.queue = EventQueue()
         self.processes: list[SimProcess] = []
         self._arrive_fns: list = []
@@ -96,6 +104,10 @@ class Simulator:
         src_stats.bytes_sent += msg.size_bytes
         now = self.queue.now
         msg.send_time = now
+        fc = self.faults
+        if fc is not None and fc.drops(msg, now):
+            src_stats.msgs_lost += 1
+            return
         delay = self.network.delivery_delay(msg.src, dst, msg.size_bytes)
         chan = (msg.src, dst)
         arrive_at = max(now + delay, self._fifo.get(chan, 0.0))
@@ -104,6 +116,16 @@ class Simulator:
             arrive_at, self._arrive_fns[dst],
             tag=f"deliver:{msg.kind}->{dst}" if self.debug else "",
             arg=msg)
+        if fc is not None and fc.duplicates(msg):
+            src_stats.msgs_duplicated += 1
+            dup_delay = self.network.delivery_delay(msg.src, dst,
+                                                    msg.size_bytes)
+            dup_at = max(now + dup_delay, self._fifo[chan])
+            self._fifo[chan] = dup_at
+            self.queue.push(
+                dup_at, self._arrive_fns[dst],
+                tag=f"dup:{msg.kind}->{dst}" if self.debug else "",
+                arg=msg)
 
     # -- run --------------------------------------------------------------------
 
@@ -128,6 +150,14 @@ class Simulator:
         if self._auto_place:
             self.network.place(len(self.processes), seed=self.seed)
         self._running = True
+        if self.faults is not None:
+            for pid, t in self.faults.plan.crashes:
+                if pid >= len(self.processes):
+                    raise SimConfigError(
+                        f"fault plan crashes unknown process {pid}")
+                self.queue.push(t, self._crash_process,
+                                tag=f"crash:{pid}" if self.debug else "",
+                                arg=pid)
         for proc in self.processes:
             proc.start()
         fired = 0
@@ -162,8 +192,31 @@ class Simulator:
         self._finalize(truncated=truncated)
         return self.stats
 
+    # -- faults -----------------------------------------------------------------
+
+    def is_crashed(self, pid: int) -> bool:
+        """Ground truth used by the (perfect) failure detector model."""
+        return self.faults is not None and pid in self.faults.crashed
+
+    def _crash_process(self, pid: int) -> None:
+        """Crash-stop ``pid``: halt execution, drop state, never recover."""
+        proc = self.processes[pid]
+        proc._crashed = True
+        proc._inbox.clear()
+        if proc._occupy_event is not None:
+            proc._occupy_event.cancel()
+            proc._occupy_event = None
+        proc._cpu_busy = False
+        self.faults.crashed.add(pid)
+        self.stats.per_process[pid].crashes += 1
+        tracer = getattr(proc, "tracer", None)
+        if tracer is not None:
+            from .trace import CRASH
+            tracer.record(self.now, pid, CRASH)
+
     def _finalize(self, truncated: bool) -> None:
-        unfinished = [p.pid for p in self.processes if not p.finished()]
+        unfinished = [p.pid for p in self.processes
+                      if not p.finished() and not p._crashed]
         if unfinished and not truncated:
             pending = self.queue.snapshot_tags()[:10]
             hint = "" if self.debug else \

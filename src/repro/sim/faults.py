@@ -1,0 +1,142 @@
+"""Deterministic fault injection: crash-stop processes, lossy links.
+
+A :class:`FaultPlan` declares *what goes wrong* in a run — crash-stop
+process failures at given virtual times, i.i.d. per-message loss and
+duplication probabilities, and transient link blackouts — and the
+:class:`FaultController` executes it inside the engine. Two properties the
+rest of the repository depends on:
+
+* **Determinism.** Every probabilistic decision draws from dedicated
+  :class:`~repro.sim.rng.RngStream` s (``fault-loss``, ``fault-dup``)
+  derived from the run seed, and crash times are explicit plan data, so a
+  faulted run is exactly as bit-reproducible as a clean one.
+* **Zero overhead when unused.** A null plan (``FaultPlan()`` — no
+  crashes, ``loss == dup == 0``, no blackouts) normalises to *no
+  controller at all*: the engine keeps its exact pre-fault code paths, so
+  golden bit-identity tests and hot-path throughput are untouched.
+
+The failure model is crash-stop: a crashed process stops executing —
+inbox dropped, running quantum aborted, pending timers inert — and never
+recovers. Process 0 (the overlay/detection-tree root and initial work
+holder) is immortal by construction; the plan validator rejects root
+crashes, mirroring the classic resilient work-stealing setting where the
+coordinator persists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import SimConfigError
+from .messages import Message
+from .rng import RngStream
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of the faults injected into one run.
+
+    Attributes:
+        crashes: ``(pid, time)`` pairs — process ``pid`` crash-stops at
+            virtual ``time``. Pid 0 never crashes (validated).
+        loss: probability that any transmitted message is silently dropped.
+        dup: probability that a delivered message is delivered twice (the
+            duplicate takes an independently priced delay).
+        blackouts: ``(src, dst, start, end)`` windows during which every
+            message on the matching link is dropped; ``None`` for ``src``
+            or ``dst`` is a wildcard ("any process").
+    """
+
+    crashes: tuple[tuple[int, float], ...] = ()
+    loss: float = 0.0
+    dup: float = 0.0
+    blackouts: tuple[tuple[int | None, int | None, float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss < 1.0:
+            raise SimConfigError(f"loss must be in [0, 1), got {self.loss}")
+        if not 0.0 <= self.dup < 1.0:
+            raise SimConfigError(f"dup must be in [0, 1), got {self.dup}")
+        seen = set()
+        for pid, t in self.crashes:
+            if pid == 0:
+                raise SimConfigError(
+                    "process 0 (the root) cannot crash: it anchors the "
+                    "overlay, the termination waves and the initial work")
+            if pid < 0:
+                raise SimConfigError(f"crash pid must be >= 0, got {pid}")
+            if t <= 0:
+                raise SimConfigError(
+                    f"crash time must be > 0, got {t} for pid {pid}")
+            if pid in seen:
+                raise SimConfigError(f"pid {pid} crashes more than once")
+            seen.add(pid)
+        for src, dst, start, end in self.blackouts:
+            if start < 0 or end <= start:
+                raise SimConfigError(
+                    f"blackout window must satisfy 0 <= start < end, "
+                    f"got [{start}, {end}]")
+            for p in (src, dst):
+                if p is not None and p < 0:
+                    raise SimConfigError(f"blackout pid must be >= 0, got {p}")
+
+    def is_null(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (not self.crashes and self.loss == 0.0 and self.dup == 0.0
+                and not self.blackouts)
+
+    @classmethod
+    def sample(cls, n: int, crashes: int, seed: int,
+               window: tuple[float, float] = (1e-3, 50e-3),
+               loss: float = 0.0, dup: float = 0.0) -> "FaultPlan":
+        """Draw a deterministic random crash schedule for an n-process run.
+
+        ``crashes`` distinct non-root pids crash at times uniform in
+        ``window``; the draw is a pure function of ``seed``.
+        """
+        if crashes < 0:
+            raise SimConfigError("crashes must be >= 0")
+        if crashes > n - 1:
+            raise SimConfigError(
+                f"cannot crash {crashes} of {n} processes (pid 0 is immortal)")
+        rng = RngStream(seed, "fault-plan")
+        pids = rng.sample(range(1, n), crashes) if crashes else []
+        lo, hi = window
+        sched = tuple(sorted((pid, rng.uniform(lo, hi)) for pid in pids))
+        return cls(crashes=sched, loss=loss, dup=dup)
+
+
+class FaultController:
+    """Runtime side of a :class:`FaultPlan`; owned by the engine.
+
+    The engine only constructs one for non-null plans, so every hook below
+    sits behind a single ``is None`` check on the hot path.
+    """
+
+    __slots__ = ("plan", "_loss_rng", "_dup_rng", "crashed", "crash_times")
+
+    def __init__(self, plan: FaultPlan, seed: int) -> None:
+        self.plan = plan
+        self._loss_rng = RngStream(seed, "fault-loss") if plan.loss > 0 \
+            else None
+        self._dup_rng = RngStream(seed, "fault-dup") if plan.dup > 0 else None
+        self.crashed: set[int] = set()
+        self.crash_times: dict[int, float] = dict(plan.crashes)
+
+    def drops(self, msg: Message, now: float) -> bool:
+        """Decide whether this transmission is lost (loss or blackout)."""
+        for src, dst, start, end in self.plan.blackouts:
+            if ((src is None or src == msg.src)
+                    and (dst is None or dst == msg.dst)
+                    and start <= now < end):
+                return True
+        return (self._loss_rng is not None
+                and self._loss_rng.random() < self.plan.loss)
+
+    def duplicates(self, msg: Message) -> bool:
+        """Decide whether this delivery is duplicated."""
+        return (self._dup_rng is not None
+                and self._dup_rng.random() < self.plan.dup)
+
+
+__all__ = ["FaultPlan", "FaultController"]

@@ -100,8 +100,11 @@ class NetworkModel:
             slots = slots[:n_processes]
         for pid, ci in enumerate(slots):
             self._placement[pid] = ci
-        if self.jitter > 0:
-            self._jitter_rng = RngStream(seed, "net-jitter")
+        # reset (not merely create) the jitter stream so re-placing the
+        # same model — e.g. one NetworkModel reused across grid cells —
+        # reproduces the exact delay sequence of a fresh model
+        self._jitter_rng = (RngStream(seed, "net-jitter")
+                            if self.jitter > 0 else None)
 
     def cluster_of(self, pid: int) -> int:
         """Cluster index a process was placed on (:func:`place` first)."""

@@ -45,6 +45,7 @@ class SimProcess:
         self.sim: "Simulator" = None  # type: ignore[assignment]  # set on add
         self._inbox: deque[Message] = deque()
         self._cpu_busy = False
+        self._crashed = False   # set by the engine's fault layer, only
         self._occupy_event: Optional[Event] = None
 
     # -- lifecycle hooks -----------------------------------------------------
@@ -93,7 +94,15 @@ class SimProcess:
         """Schedule a zero-cost callback at absolute virtual ``time``."""
         if not tag and self.sim.debug:
             tag = f"timer@{self.pid}"
+        if self.sim.faults is not None:
+            # route through a guard so timers of a crashed process are inert
+            return self.sim.queue.push(time, self._fire_timer, tag=tag,
+                                       arg=fn)
         return self.sim.queue.push(time, fn, tag=tag)
+
+    def _fire_timer(self, fn: Callable[[], None]) -> None:
+        if not self._crashed:
+            fn()
 
     def call_after(self, delay: float, fn: Callable[[], None], tag: str = "") -> Event:
         """Schedule a zero-cost callback ``delay`` seconds from now."""
@@ -129,6 +138,8 @@ class SimProcess:
 
     def _arrive(self, msg: Message) -> None:
         """Engine hook: a message reached this node's NIC."""
+        if self._crashed:
+            return
         st = self.stats
         st.msgs_received += 1
         st.bytes_received += msg.size_bytes

@@ -27,6 +27,12 @@ class ProcessStats:
     work_msgs_sent: int = 0       # messages that carried work
     work_msgs_received: int = 0
     finish_time: float = 0.0      # when this process learnt termination
+    # fault-injection counters (all stay 0 in clean runs)
+    msgs_lost: int = 0            # transmissions dropped by the fault layer
+    msgs_duplicated: int = 0      # deliveries duplicated by the fault layer
+    retransmits: int = 0          # reliable-channel retransmissions sent
+    crashes: int = 0              # 1 when this process crash-stopped
+    repairs: int = 0              # overlay splices this node performed
 
     def idle_time(self, horizon: float) -> float:
         """Time neither computing nor handling messages, within ``horizon``."""
@@ -68,6 +74,14 @@ class RunStats:
             sum(p.steals_successful for p in self.per_process),
             sum(p.busy_time for p in self.per_process),
         )
+
+    def fault_totals(self) -> tuple[int, int, int, int, int]:
+        """(losses, duplicates, retransmits, crashes, repairs) summed."""
+        return (sum(p.msgs_lost for p in self.per_process),
+                sum(p.msgs_duplicated for p in self.per_process),
+                sum(p.retransmits for p in self.per_process),
+                sum(p.crashes for p in self.per_process),
+                sum(p.repairs for p in self.per_process))
 
     @property
     def total_work_units(self) -> int:

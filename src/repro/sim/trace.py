@@ -25,6 +25,8 @@ QUANTUM = "quantum"      # value = work units completed at that time
 MESSAGE = "message"      # value = 1 (a message was handled)
 IDLE = "idle"            # value = idle-episode start marker
 FINISH = "finish"        # value = 0 (local termination)
+CRASH = "crash"          # value = 0 (this process crash-stopped)
+REPAIR = "repair"        # value = the spliced/adopted peer's pid
 
 
 @dataclass(slots=True)
@@ -127,4 +129,4 @@ def render_profile(profile: list[tuple[float, float]],
 
 
 __all__ = ["Tracer", "Sample", "render_profile", "QUANTUM", "MESSAGE",
-           "IDLE", "FINISH"]
+           "IDLE", "FINISH", "CRASH", "REPAIR"]

@@ -133,7 +133,7 @@ def test_scales_registry():
 
 def test_experiment_registry():
     assert list(ORDER) == ["table1", "fig1", "fig2", "table2", "fig3",
-                           "fig4", "fig5", "granularity"]
+                           "fig4", "fig5", "granularity", "faults"]
     assert set(ORDER) == set(EXPERIMENTS)
     for exp_id in ORDER:
         assert callable(get_experiment(exp_id))

@@ -102,6 +102,51 @@ def test_extreme_handler_cost():
     assert r.total_units == MINI_NODES
 
 
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    proto=st.sampled_from(["TD", "TR", "BTD", "RWS"]),
+    n=st.integers(min_value=2, max_value=16),
+    loss=st.sampled_from([0.0, 0.05, 0.15]),
+    dup=st.sampled_from([0.0, 0.1]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_conservation_under_lossy_links(proto, n, loss, dup, seed):
+    """Loss/duplication chaos: the reliable channel keeps conservation exact."""
+    from repro.sim.faults import FaultPlan
+    plan = FaultPlan(loss=loss, dup=dup)
+    cfg = RunConfig(protocol=proto, n=n, dmax=4, quantum=32, seed=seed,
+                    faults=plan)
+    result = run_once(cfg, UTSApplication(MINI))
+    assert result.total_units == MINI_NODES
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    proto=st.sampled_from(["TD", "TR", "BTD", "RWS"]),
+    n=st.integers(min_value=4, max_value=16),
+    crashes=st.integers(min_value=1, max_value=4),
+    loss=st.sampled_from([0.0, 0.1]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_conservation_under_crash_chaos(proto, n, crashes, loss,
+                                                 seed):
+    """Crash chaos: the four-place accounting identity holds exactly.
+
+    Uses the oracle of test_fault_tolerance — live units plus drained
+    frozen/in-flight/dropped work must reproduce the sequential count.
+    """
+    from tests.test_fault_tolerance import run_faulted
+    from repro.sim.faults import FaultPlan
+    crashes = min(crashes, n - 1, max(1, n // 4))
+    plan = FaultPlan.sample(n, crashes=crashes, seed=seed,
+                            window=(2e-4, 2e-3), loss=loss)
+    total, _, _ = run_faulted(proto, n, plan, seed=seed,
+                              app=UTSApplication(MINI))
+    assert total == MINI_NODES
+
+
 def test_uniform_bridge_policy_still_correct():
     from repro.experiments.runner import build_workers
     from repro.core.oclb import OverlayWorker

@@ -1,0 +1,184 @@
+"""Self-healing under faults: exact work conservation, clean termination.
+
+The oracle is an accounting identity. Every unit of work the tree
+contains is, at the end of a faulted run, in exactly one of four places:
+
+1. processed by a live worker (``stats.total_work_units``),
+2. frozen in a crashed worker's local pool,
+3. in flight in a crashed worker's reliable channel — a WORK transfer the
+   receiver never logged (logged transfers were merged before the crash
+   and are already counted in 1),
+4. a ``crash_dropped`` piece: WORK that arrived at an already-terminated
+   worker from a peer it knows is dead (the piece died with its owner;
+   the survivor just records it for this oracle).
+
+Draining 2-4 through the application and adding the units to 1 must
+reproduce the sequential node count *exactly* — any protocol bug that
+loses or duplicates work under loss, duplication or crashes breaks the
+identity. On top of it: every surviving worker must reach ``terminated``
+(the dead-set-aware waves actually converge).
+"""
+
+import pytest
+
+from repro.apps.uts_app import UTSApplication
+from repro.experiments.runner import RunConfig, build_workers
+from repro.sim import Simulator, grid5000
+from repro.sim.faults import FaultPlan
+from repro.uts.params import PRESETS
+from repro.uts.sequential import count_tree
+
+TINY = PRESETS["bin_tiny"].params
+TINY_NODES = count_tree(TINY).nodes
+MINI = PRESETS["bin_mini"].params
+MINI_NODES = count_tree(MINI).nodes
+
+#: Crash times must land inside bin_tiny's simulated makespan (~13 ms at
+#: n=12) — later kills hit already-terminated workers and test nothing.
+MID_RUN = (5e-4, 4e-3)
+
+
+def drain(work, app, shared=None):
+    """Sequentially finish a work pool, returning the units it held."""
+    total = 0
+    while not work.is_empty():
+        out = app.process(work, 1 << 20, shared)
+        if out.units <= 0:
+            break
+        total += out.units
+    return total
+
+
+def conserved_units(sim, workers, app, stats):
+    """Total units per the four-place accounting identity (docstring)."""
+    total = stats.total_work_units
+    for w in workers:
+        if not w._crashed:
+            continue
+        total += drain(w.work, app, w.shared)                       # 2
+        ch = w._reliable
+        if ch is None:
+            continue
+        for xf in ch._pending.values():                             # 3
+            if xf.kind != "WORK":
+                continue
+            peer = sim.processes[xf.dst]._reliable
+            if peer is None or not peer.was_delivered(w.pid, xf.seq):
+                total += drain(xf.payload[0], app, w.shared)
+    for w in workers:                                               # 4
+        for piece in w.crash_dropped:
+            total += drain(piece, app, w.shared)
+    return total
+
+
+def run_faulted(proto, n, plan, seed=0, dmax=3, app=None):
+    """One faulted run; returns (conserved units, stats, workers)."""
+    if app is None:
+        app = UTSApplication(TINY)
+    cfg = RunConfig(protocol=proto, n=n, dmax=dmax, seed=seed, faults=plan)
+    sim = Simulator(network=grid5000(), seed=seed, faults=plan)
+    workers = build_workers(sim, cfg, app)
+    stats = sim.run()
+    assert all(w.terminated for w in workers if not w._crashed), \
+        f"{proto}: surviving workers failed to terminate"
+    return conserved_units(sim, workers, app, stats), stats, workers
+
+
+# -- message loss ------------------------------------------------------------
+
+@pytest.mark.parametrize("proto", ["TD", "TR", "BTD", "RWS"])
+@pytest.mark.parametrize("loss", [0.1, 0.2])
+def test_conservation_under_loss(proto, loss):
+    total, stats, _ = run_faulted(proto, 12, FaultPlan(loss=loss), seed=1)
+    assert total == TINY_NODES
+    lost, _, rexmit, _, _ = stats.fault_totals()
+    assert lost > 0 and rexmit > 0
+
+
+@pytest.mark.parametrize("proto", ["TD", "BTD", "RWS"])
+def test_conservation_under_duplication(proto):
+    total, stats, _ = run_faulted(proto, 12, FaultPlan(dup=0.1), seed=2)
+    assert total == TINY_NODES
+    assert stats.fault_totals()[1] > 0
+
+
+# -- crash-stop failures -----------------------------------------------------
+
+@pytest.mark.parametrize("proto", ["TD", "TR", "BTD", "RWS"])
+def test_conservation_under_crashes(proto):
+    """n/4 mid-run kills: exact conservation, survivors terminate."""
+    repairs_seen = 0
+    for seed in (0, 1, 2):
+        plan = FaultPlan.sample(16, crashes=4, seed=seed + 50,
+                                window=MID_RUN)
+        total, stats, _ = run_faulted(proto, 16, plan, seed=seed)
+        assert total == TINY_NODES, (proto, seed)
+        assert stats.fault_totals()[3] == 4
+        repairs_seen += stats.fault_totals()[4]
+    # kills inside MID_RUN hit live workers: the overlay must have spliced
+    assert repairs_seen > 0, f"{proto}: no repair ever triggered"
+
+
+@pytest.mark.parametrize("proto", ["TD", "BTD", "RWS"])
+def test_conservation_under_combined_faults(proto):
+    """Crashes, loss and duplication together — the worst case."""
+    for seed in (3, 4):
+        plan = FaultPlan.sample(16, crashes=4, seed=seed, window=MID_RUN,
+                                loss=0.15, dup=0.05)
+        total, _, _ = run_faulted(proto, 16, plan, seed=seed)
+        assert total == TINY_NODES, (proto, seed)
+
+
+def test_crashed_subtree_chain_is_adopted():
+    """Killing a parent-child chain forces recursive adoption."""
+    # pids 1 and 3 sit on the static path to 7 at dmax=2; kill both
+    plan = FaultPlan(crashes=((1, 8e-4), (3, 9e-4)))
+    total, stats, workers = run_faulted("TD", 8, plan, seed=7, dmax=2)
+    assert total == TINY_NODES
+    assert stats.fault_totals()[4] > 0
+
+
+# -- B&B under faults --------------------------------------------------------
+
+def test_bnb_exact_under_loss_and_dup():
+    """Loss and duplication must not cost B&B optimality."""
+    from repro.apps.bnb_app import BnBApplication
+    from repro.bnb.engine import solve_bruteforce
+    from repro.bnb.taillard import scaled_instance
+    inst = scaled_instance(3, n_jobs=7, n_machines=5)
+    opt, _ = solve_bruteforce(inst)
+    for proto in ("TD", "BTD", "RWS"):
+        cfg = RunConfig(protocol=proto, n=8, dmax=3, quantum=8, seed=8,
+                        faults=FaultPlan(loss=0.15, dup=0.05))
+        sim = Simulator(network=grid5000(), seed=8, faults=cfg.faults)
+        app = BnBApplication(inst)
+        workers = build_workers(sim, cfg, app)
+        sim.run()
+        assert all(w.terminated for w in workers)
+        best = min(w.shared.value for w in workers)
+        assert best == opt, proto
+
+
+def test_bnb_sound_under_crashes():
+    """Crash-stop loses subtrees, so the incumbent is an upper bound.
+
+    Work frozen on dead nodes is never re-executed (no checkpointing), so
+    the true optimum may hide in a lost subtree — but the incumbent must
+    still be a *feasible* schedule, i.e. >= the true optimum, and every
+    survivor must terminate.
+    """
+    from repro.apps.bnb_app import BnBApplication
+    from repro.bnb.engine import solve_bruteforce
+    from repro.bnb.taillard import scaled_instance
+    inst = scaled_instance(4, n_jobs=7, n_machines=5)
+    opt, _ = solve_bruteforce(inst)
+    plan = FaultPlan.sample(12, crashes=3, seed=77, window=(2e-4, 2e-3))
+    cfg = RunConfig(protocol="BTD", n=12, dmax=3, quantum=8, seed=9,
+                    faults=plan)
+    sim = Simulator(network=grid5000(), seed=9, faults=plan)
+    app = BnBApplication(inst)
+    workers = build_workers(sim, cfg, app)
+    sim.run()
+    assert all(w.terminated for w in workers if not w._crashed)
+    best = min(w.shared.value for w in workers if not w._crashed)
+    assert best >= opt
