@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Regression gate: fresh benchmark recording vs the committed baseline.
+
+Usage (what the ``bench-gate`` CI job runs)::
+
+    PYTHONPATH=src python benchmarks/record.py kernels --quick \
+        --out /tmp/BENCH_fresh.json
+    python benchmarks/check_regression.py --fresh /tmp/BENCH_fresh.json
+
+Each metric's fresh ``after`` throughput must stay within its tolerance
+band of the committed ``benchmarks/BENCH_kernels.json``; any metric below
+``baseline * (1 - tolerance)`` fails the gate (non-zero exit). Bands are
+per-metric (:data:`TOLERANCES`): the event-queue rate is held to 3% — the
+observability hooks of ``repro.obs`` must stay no-ops when no registry is
+attached, and a hot-path branch would show up exactly here — while the
+NumPy-heavy kernels get wider bands because their throughput moves with
+machine load.
+
+Both recordings carry a machine-calibration rate (a raw-heapq loop in
+``record.py`` that no library change can touch). When present on both
+sides, every fresh rate is normalised by the baseline/fresh calibration
+ratio before banding, so the gate compares *code* speed rather than
+*machine* speed: it corrects both a different CI machine and a busy
+recording machine (all rates sag in unison — so does the yardstick).
+
+``--tol-scale`` (or ``$BENCH_TOL_SCALE``) multiplies every band for
+known-noisy environments; improvements never fail the gate, but a big one
+prints a hint to re-record the baseline so the gate stays tight.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+#: Per-metric relative tolerance (fraction below baseline that still
+#: passes). The fallback band covers metrics added after this file.
+TOLERANCES = {
+    "event_queue_ops_per_s": 0.03,
+    "bnb_lb1_nodes_per_s": 0.25,
+    "bnb_llrk_nodes_per_s": 0.25,
+    "bnb_llrk_full_nodes_per_s": 0.25,
+    "uts_nodes_per_s": 0.25,
+}
+DEFAULT_TOLERANCE = 0.25
+
+#: A fresh rate this far *above* baseline prints a re-record hint.
+IMPROVEMENT_HINT = 0.25
+
+
+def load_metrics(path: pathlib.Path) -> tuple[dict[str, float], float]:
+    """``(metric name -> throughput, calibration rate)`` from BENCH json.
+
+    The calibration rate is 0.0 for recordings that predate it.
+    """
+    with open(path) as fh:
+        doc = json.load(fh)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        raise SystemExit(f"{path}: no 'metrics' table — not a kernels "
+                         "recording?")
+    out = {}
+    for name, row in metrics.items():
+        if not isinstance(row, dict) or "after" not in row:
+            raise SystemExit(f"{path}: metric {name!r} has no 'after' value")
+        out[name] = float(row["after"])
+    return out, float(doc.get("calibration_ops_per_s", 0.0))
+
+
+def check(fresh: dict[str, float], baseline: dict[str, float],
+          tol_scale: float,
+          calib_scale: float = 1.0) -> tuple[list[str], list[str]]:
+    """Returns (failures, lines) — lines is the full report table.
+
+    ``calib_scale`` multiplies every fresh rate before banding
+    (baseline calibration / fresh calibration — i.e. how much faster
+    the baseline machine is than the machine running the gate).
+    """
+    failures = []
+    lines = [f"{'metric':34s} {'baseline':>12s} {'fresh':>12s} "
+             f"{'ratio':>7s} {'band':>7s}  status",
+             "-" * 84]
+    for name in sorted(baseline):
+        base = baseline[name]
+        tol = TOLERANCES.get(name, DEFAULT_TOLERANCE) * tol_scale
+        if name not in fresh:
+            failures.append(f"{name}: missing from the fresh recording")
+            lines.append(f"{name:34s} {base:>12,.0f} {'-':>12s} "
+                         f"{'-':>7s} {tol:>6.0%}  MISSING")
+            continue
+        now = fresh[name] * calib_scale
+        ratio = now / base if base else float("inf")
+        floor = 1.0 - tol
+        if ratio < floor:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {now:,.0f} vs baseline {base:,.0f} "
+                f"({ratio:.3f}x < {floor:.3f}x floor)")
+        elif ratio > 1.0 + IMPROVEMENT_HINT:
+            status = "ok (improved — consider re-recording the baseline)"
+        else:
+            status = "ok"
+        lines.append(f"{name:34s} {base:>12,.0f} {now:>12,.0f} "
+                     f"{ratio:>6.3f}x {tol:>6.0%}  {status}")
+    for name in sorted(set(fresh) - set(baseline)):
+        lines.append(f"{name:34s} {'-':>12s} {fresh[name]:>12,.0f} "
+                     f"{'-':>7s} {'-':>7s}  new (no baseline)")
+    return failures, lines
+
+
+def main(argv=None) -> int:
+    here = pathlib.Path(__file__).parent
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[1].strip())
+    parser.add_argument("--fresh", required=True,
+                        help="freshly recorded BENCH json to validate")
+    parser.add_argument("--baseline",
+                        default=str(here / "BENCH_kernels.json"),
+                        help="committed baseline (default: "
+                             "benchmarks/BENCH_kernels.json)")
+    parser.add_argument("--tol-scale", type=float,
+                        default=float(os.environ.get("BENCH_TOL_SCALE",
+                                                     "1.0")),
+                        help="multiply every tolerance band (noisy CI "
+                             "escape hatch; also $BENCH_TOL_SCALE)")
+    args = parser.parse_args(argv)
+
+    fresh, fresh_calib = load_metrics(pathlib.Path(args.fresh))
+    baseline, base_calib = load_metrics(pathlib.Path(args.baseline))
+    calib_scale = 1.0
+    if fresh_calib > 0.0 and base_calib > 0.0:
+        calib_scale = base_calib / fresh_calib
+        print(f"machine calibration: baseline {base_calib:,.0f} ops/s, "
+              f"fresh {fresh_calib:,.0f} ops/s -> fresh rates x "
+              f"{calib_scale:.3f}")
+    failures, lines = check(fresh, baseline, args.tol_scale, calib_scale)
+    print("\n".join(lines))
+    if failures:
+        print(f"\nFAIL: {len(failures)} metric(s) regressed:",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(baseline)} metric(s) within tolerance "
+          f"(scale {args.tol_scale:g})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

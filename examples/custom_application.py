@@ -13,7 +13,7 @@ Run:  python examples/custom_application.py
 import math
 from typing import Any, Optional
 
-from repro import RunConfig, run_once
+from repro import RunConfig
 from repro.apps.base import Application, ProcessOutcome
 from repro.work.base import WorkItem
 

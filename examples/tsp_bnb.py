@@ -13,7 +13,7 @@ Run:  python examples/tsp_bnb.py
 """
 
 import itertools
-from typing import Any, Optional
+from typing import Optional
 
 from repro import RunConfig
 from repro.apps.base import Application, ProcessOutcome

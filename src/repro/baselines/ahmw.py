@@ -91,7 +91,7 @@ class AHMWNode(WorkerProcess):
             return
         if not self.req_outstanding:
             self.req_outstanding = True
-            self.stats.steals_attempted += 1
+            self.note_steal_request()
             self.send(self.parent, REQ, None)
 
     def on_work_received(self, msg: Message) -> None:
@@ -155,11 +155,11 @@ class AHMWNode(WorkerProcess):
             if (self.sibling_sharing and self.siblings
                     and not self.sib_outstanding):
                 self.sib_outstanding = True
-                self.stats.steals_attempted += 1
+                self.note_steal_request()
                 self.send(self._sib_rng.choice(self.siblings), SIB_REQ, None)
             if self.parent >= 0 and not self.req_outstanding:
                 self.req_outstanding = True
-                self.stats.steals_attempted += 1
+                self.note_steal_request()
                 self.send(self.parent, REQ, None)
             elif self.parent < 0:
                 self._root_check()

@@ -70,12 +70,12 @@ class LifelineWorker(WorkerProcess):
             if victim >= self.pid:
                 victim += 1
             self.steal_outstanding = True
-            self.stats.steals_attempted += 1
+            self.note_steal_request()
             self.send(victim, STEAL, None)
         elif (self.failed_attempts >= self.w and not self.lifelines_armed):
             self.lifelines_armed = True
             for nb in self.lifelines:
-                self.stats.steals_attempted += 1
+                self.note_steal_request()
                 self.send(nb, LIFELINE, None)
         self._root_check()
 

@@ -144,7 +144,7 @@ class MWWorker(WorkerProcess):
         if self.terminated or self.req_outstanding:
             return
         self.req_outstanding = True
-        self.stats.steals_attempted += 1
+        self.note_steal_request()
         self.send(0, REQ, None)
 
     def on_work_received(self, msg: Message) -> None:

@@ -72,7 +72,7 @@ class RWSWorker(WorkerProcess):
                 victim += 1
         self.steal_outstanding = True
         self._steal_target = victim
-        self.stats.steals_attempted += 1
+        self.note_steal_request()
         self.send(victim, STEAL, None)
         self._root_check()
 

@@ -39,10 +39,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..sim.errors import SimConfigError
-from . import kernels
 from .bounds import LowerBound, get_bound
 from .flowshop import FlowshopInstance
 from .interval import factorials, position_to_digits

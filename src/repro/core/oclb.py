@@ -185,7 +185,7 @@ class OverlayWorker(WorkerProcess):
         if (self.bridged and self.bridge_target is not None
                 and not self.bridge_outstanding):
             self.bridge_outstanding = True
-            self.stats.steals_attempted += 1
+            self.note_steal_request()
             self.send(self.bridge_target, REQ, (BRIDGE, self.t_self),
                       body_bytes=8)
         if self.probe_target is None:
@@ -194,7 +194,7 @@ class OverlayWorker(WorkerProcess):
             if candidates:
                 self.probe_target = self.rng.choice(candidates)
                 self.probed.add(self.probe_target)
-                self.stats.steals_attempted += 1
+                self.note_steal_request()
                 self.send(self.probe_target, REQ, (DOWN, self.t_self),
                           body_bytes=8)
             else:
@@ -204,7 +204,7 @@ class OverlayWorker(WorkerProcess):
                 # probing in fresh rounds after a short pause
                 if self.parent >= 0 and not self.up_outstanding:
                     self.up_outstanding = True
-                    self.stats.steals_attempted += 1
+                    self.note_steal_request()
                     self.send(self.parent, REQ, (UP, self.t_self),
                               body_bytes=8)
                 self._schedule_reprobe()

@@ -88,6 +88,15 @@ class ReliableChannel:
         self._pending: dict[int, _Transfer] = {}
         self._seen: dict[int, set[int]] = {}   # src -> delivered seqs
         self._pending_work = 0
+        # observability: the channel is built in start(), so host.sim and
+        # its (optional) metrics registry are already attached
+        m = host.sim.metrics
+        if m is not None:
+            self._m_retransmits = m.counter("reliable.retransmits")
+            self._m_delay = m.histogram("reliable.retransmit_delay_s")
+        else:
+            self._m_retransmits = None
+            self._m_delay = None
 
     # -- sender side ---------------------------------------------------------
 
@@ -156,6 +165,11 @@ class ReliableChannel:
             # burning the full retry ladder against a dead peer
             self._declare_dead(xf.dst)
             return
+        if self._m_retransmits is not None:
+            self._m_retransmits.inc()
+            # the backoff that just elapsed (what _schedule armed last time)
+            self._m_delay.observe(
+                self.timeout * (1 << min(xf.attempts, self.retries)))
         xf.attempts += 1
         self.host.stats.retransmits += 1
         self._transmit(xf)

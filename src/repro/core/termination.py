@@ -112,6 +112,11 @@ class TerminationWaves:
         self._backoff = 1.0
         self.terminated = False
         self.waves_run = 0
+        # observability (root only): resolved lazily on the first wave —
+        # the component is built before the host joins a simulator
+        self._m_waves = None
+        self._m_roundtrip = None
+        self._wave_t0 = 0.0
 
     # -- root API --------------------------------------------------------------
 
@@ -123,6 +128,13 @@ class TerminationWaves:
             return
         self.wave_seq += 1
         self.waves_run += 1
+        m = self.host.sim.metrics if self.host.sim is not None else None
+        if m is not None:
+            if self._m_waves is None:
+                self._m_waves = m.counter("term.waves")
+                self._m_roundtrip = m.histogram("term.wave_roundtrip_s")
+            self._m_waves.inc()
+            self._wave_t0 = self.host.now
         self._begin_collect()
         if self._collecting and self._faulted():
             # a crash can eat part of the flood; time the wave out and
@@ -244,6 +256,8 @@ class TerminationWaves:
                                (self.wave_seq, self._acc_s, self._acc_r,
                                 self._acc_active), body_bytes=24)
             return
+        if self._m_roundtrip is not None:
+            self._m_roundtrip.observe(self.host.now - self._wave_t0)
         clean = (not self._acc_active) and self._acc_s == self._acc_r
         if faulted:
             dead_now = frozenset(getattr(self.host, "dead", ()))

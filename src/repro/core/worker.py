@@ -82,6 +82,15 @@ class WorkerProcess(SimProcess):
         #: optional repro.sim.trace.Tracer; set by the harness, zero cost
         #: when absent
         self.tracer = None
+        # observability (repro.obs): instruments cached at start() when the
+        # simulator carries a registry; a single None check gates each
+        # publishing site, so detached runs pay one dead branch at most
+        self._metrics = None
+        self._m_steal_requests = None
+        self._m_steal_latency = None
+        self._m_xfer_units = None
+        self._m_xfer_bytes = None
+        self._steal_req_time = -1.0   # first open request of an idle episode
         # fault-tolerance state; pure memory, only touched when a
         # FaultPlan is active (self._reliable is then non-None)
         self._reliable: Optional[ReliableChannel] = None
@@ -153,6 +162,16 @@ class WorkerProcess(SimProcess):
         if self.sim.faults is not None:
             self._reliable = ReliableChannel(self, self.cfg.ack_timeout,
                                              self.cfg.ack_retries)
+        m = self.sim.metrics
+        if m is not None:
+            from ..obs.registry import SIZE_EDGES
+            self._metrics = m
+            self._m_steal_requests = m.counter("steal.requests")
+            self._m_steal_latency = m.histogram("steal.latency_s")
+            self._m_xfer_units = m.histogram("work.transfer_units",
+                                             SIZE_EDGES)
+            self._m_xfer_bytes = m.histogram("work.transfer_bytes",
+                                             SIZE_EDGES)
         # everything starts through the event loop so subclass start() code
         # runs for every process before the first quantum fires
         self.call_after(0.0, self._drain,
@@ -211,6 +230,21 @@ class WorkerProcess(SimProcess):
 
     # -- work transfer ----------------------------------------------------------------
 
+    def note_steal_request(self) -> None:
+        """Count one work request (protocols call this, not the raw stat).
+
+        Feeds ``stats.steals_attempted`` exactly as the old inline bumps
+        did, plus — when a metrics registry is attached — the
+        ``steal.requests`` counter and the start-of-episode timestamp the
+        ``steal.latency_s`` histogram measures against (first open request
+        of an idle episode to the next WORK arrival).
+        """
+        self.stats.steals_attempted += 1
+        if self._metrics is not None:
+            self._m_steal_requests.inc()
+            if self._steal_req_time < 0.0:
+                self._steal_req_time = self.now
+
     def send(self, dst: int, kind: str, payload: Any = None,
              body_bytes: int = 0) -> None:
         ch = self._reliable
@@ -230,8 +264,11 @@ class WorkerProcess(SimProcess):
                 return
             self.sent_to[dst] = self.sent_to.get(dst, 0) + 1
         self.stats.work_msgs_sent += 1
-        self.send(dst, WORK, (piece, channel),
-                  body_bytes=piece.encoded_bytes())
+        body = piece.encoded_bytes()
+        if self._metrics is not None:
+            self._m_xfer_units.observe(piece.amount())
+            self._m_xfer_bytes.observe(body)
+        self.send(dst, WORK, (piece, channel), body_bytes=body)
 
     def on_message(self, msg: Message) -> None:
         ch = self._reliable
@@ -274,6 +311,13 @@ class WorkerProcess(SimProcess):
             self.stats.steals_successful += 1
             if ch is not None:
                 self.recv_from[msg.src] = self.recv_from.get(msg.src, 0) + 1
+            if self._metrics is not None and self._steal_req_time >= 0.0:
+                self._m_steal_latency.observe(self.now - self._steal_req_time)
+                self._steal_req_time = -1.0
+            if self.tracer is not None:
+                from ..sim.trace import TRANSFER
+                self.tracer.record(self.now, self.pid, TRANSFER,
+                                   float(msg.src))
             self.work.merge(piece)
             self.on_work_received(msg)
             return

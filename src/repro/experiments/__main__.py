@@ -4,7 +4,12 @@ Usage::
 
     python -m repro.experiments --all --scale quick
     python -m repro.experiments table1 fig5 --scale default --out results.txt
+    python -m repro.experiments report --app uts --preset bin_mini --n 16
     repro-experiments fig3                      # console script
+
+``report`` is a subcommand with its own flags (see
+:mod:`repro.experiments.runreport`): it runs one instrumented simulation
+and emits a per-run observability report instead of a paper table.
 """
 
 from __future__ import annotations
@@ -17,12 +22,19 @@ from .registry import ORDER, get_experiment
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "report":
+        from .runreport import report_main
+        return report_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables/figures of 'Overlay-Centric "
                     "Load Balancing' (CLUSTER 2012) on the simulator.")
     parser.add_argument("experiments", nargs="*",
-                        help=f"experiment ids: {', '.join(ORDER)}")
+                        help=f"experiment ids: {', '.join(ORDER)} "
+                             "(or the 'report' subcommand, see "
+                             "'report --help')")
     parser.add_argument("--all", action="store_true",
                         help="run every experiment in paper order")
     parser.add_argument("--scale", default="default", choices=sorted(SCALES),

@@ -184,16 +184,27 @@ def build_workers(sim: Simulator, cfg: RunConfig,
     raise SimConfigError(f"unhandled protocol {proto}")
 
 
-def run_once(cfg: RunConfig, app: Application,
-             tracer=None) -> ExperimentResult:
+def run_once(cfg: RunConfig, app: Application, tracer=None,
+             metrics=None) -> ExperimentResult:
     """Run one complete simulation to termination.
 
-    ``tracer``: optional :class:`repro.sim.trace.Tracer` attached to every
-    worker (per-worker timelines, utilization profiles).
+    ``tracer``: optional :class:`repro.sim.trace.Tracer` (or streaming
+    :class:`repro.obs.export.TraceWriter`) attached to every worker.
+    ``metrics``: optional :class:`repro.obs.registry.MetricsRegistry` the
+    engine and workers publish into. Both are purely observational: an
+    instrumented run is bit-identical to a bare one.
     """
+    return run_instrumented(cfg, app, tracer=tracer, metrics=metrics)[0]
+
+
+def run_instrumented(cfg: RunConfig, app: Application, tracer=None,
+                     metrics=None) -> tuple[ExperimentResult, RunStats]:
+    """Like :func:`run_once` but also hands back the raw :class:`RunStats`
+    (per-process counters — what :mod:`repro.obs.report` builds from)."""
     network = cfg.network if cfg.network is not None else grid5000(
         handler_cost=cfg.handler_cost, jitter=cfg.jitter)
-    sim = Simulator(network=network, seed=cfg.seed, faults=cfg.faults)
+    sim = Simulator(network=network, seed=cfg.seed, faults=cfg.faults,
+                    metrics=metrics)
     workers = build_workers(sim, cfg, app)
     if tracer is not None:
         for w in workers:
@@ -216,7 +227,7 @@ def run_once(cfg: RunConfig, app: Application,
                 optimum_perm = w.shared.perm
                 break
     lost, dup, rexmit, crashes, repairs = stats.fault_totals()
-    return ExperimentResult(
+    result = ExperimentResult(
         protocol=cfg.protocol,
         n=cfg.n,
         makespan=stats.makespan,
@@ -235,6 +246,7 @@ def run_once(cfg: RunConfig, app: Application,
         crashes=crashes,
         repairs=repairs,
     )
+    return result, stats
 
 
 @dataclass(slots=True)
@@ -291,4 +303,5 @@ def run_trials(cfg: RunConfig, app_factory: Callable[[], Application],
 
 
 __all__ = ["RunConfig", "ExperimentResult", "TrialStats", "PROTOCOLS",
-           "build_workers", "cell_configs", "run_once", "run_trials"]
+           "build_workers", "cell_configs", "run_instrumented", "run_once",
+           "run_trials"]

@@ -1,0 +1,174 @@
+"""Structured trace export: schema-versioned NDJSON, gzip-able, round-trip.
+
+A trace file is newline-delimited JSON with exactly three record shapes:
+
+* line 1 — header: ``{"record": "header", "schema": 1, "meta": {...}}``
+* body  — one sample per line:
+  ``{"record": "sample", "t": <float>, "pid": <int>, "kind": <str>,
+  "v": <float>}``
+* last line — footer: ``{"record": "end", "samples": <int>}``
+
+The footer's count makes truncated files detectable: a crashed writer never
+reaches it, and :func:`load_trace` refuses the file rather than silently
+returning a partial trace. Floats are emitted with Python's shortest
+round-trip ``repr``, so a load → re-export cycle is **bit-identical** —
+asserted by the test suite, and the property offline analysis relies on.
+
+Paths ending in ``.gz`` are transparently gzip-compressed on both ends.
+
+Two ways to produce a trace:
+
+* :func:`export_trace` dumps an in-memory
+  :class:`~repro.sim.trace.Tracer` after the run;
+* :class:`TraceWriter` *is* a tracer sink (same ``record()`` signature and
+  ``enabled`` attribute), so it can be attached anywhere a ``Tracer`` is
+  accepted and streams samples to disk as the engine emits them — traces
+  larger than memory never materialise a sample list.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..sim.errors import SimConfigError
+from ..sim.trace import Sample, Tracer
+
+#: Bump on any incompatible record-shape change; loaders refuse unknown
+#: versions instead of guessing.
+TRACE_SCHEMA_VERSION = 1
+
+
+def _open_write(path: str) -> io.TextIOBase:
+    if str(path).endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(path, "wb"), encoding="utf-8")
+    return open(path, "w", encoding="utf-8")
+
+
+def _open_read(path: str) -> io.TextIOBase:
+    if str(path).endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+class TraceWriter:
+    """Streaming NDJSON sink, duck-compatible with ``Tracer.record``.
+
+    Use as a context manager (or call :meth:`close`) — the footer that
+    validates the file is only written on close::
+
+        with TraceWriter("run.trace.ndjson.gz", meta={"seed": 42}) as tw:
+            run_once(cfg, app, tracer=tw)
+    """
+
+    def __init__(self, path: str, meta: Optional[dict] = None) -> None:
+        self.path = str(path)
+        self.enabled = True
+        self.samples_written = 0
+        self._fh: Optional[io.TextIOBase] = _open_write(self.path)
+        header = {"record": "header", "schema": TRACE_SCHEMA_VERSION,
+                  "meta": meta or {}}
+        self._fh.write(json.dumps(header) + "\n")
+
+    def record(self, time: float, pid: int, kind: str,
+               value: float = 0.0) -> None:
+        """Append one sample (no-op while disabled or after close)."""
+        if not self.enabled or self._fh is None:
+            return
+        self._fh.write('{"record": "sample", "t": %s, "pid": %d, '
+                       '"kind": %s, "v": %s}\n'
+                       % (repr(float(time)), pid, json.dumps(kind),
+                          repr(float(value))))
+        self.samples_written += 1
+
+    def close(self) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps({"record": "end",
+                                   "samples": self.samples_written}) + "\n")
+        self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def export_trace(tracer: Tracer, path: str,
+                 meta: Optional[dict] = None) -> int:
+    """Write an in-memory tracer's samples to ``path``; returns the count."""
+    with TraceWriter(path, meta=meta) as tw:
+        for s in tracer.samples:
+            tw.record(s.time, s.pid, s.kind, s.value)
+        return tw.samples_written
+
+
+@dataclass
+class LoadedTrace:
+    """A trace file pulled back into memory."""
+
+    schema: int
+    meta: dict
+    tracer: Tracer
+
+    @property
+    def samples(self) -> list[Sample]:
+        return self.tracer.samples
+
+
+def load_trace(path: str) -> LoadedTrace:
+    """Parse a trace file; validates schema version and footer count."""
+    tracer = Tracer()
+    header: Optional[dict] = None
+    footer: Optional[dict] = None
+    with _open_read(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SimConfigError(
+                    f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            kind = rec.get("record")
+            if lineno == 1:
+                if kind != "header":
+                    raise SimConfigError(
+                        f"{path}: not a trace file (no header record)")
+                schema = rec.get("schema")
+                if schema != TRACE_SCHEMA_VERSION:
+                    raise SimConfigError(
+                        f"{path}: unsupported trace schema {schema!r} "
+                        f"(this loader reads {TRACE_SCHEMA_VERSION})")
+                header = rec
+            elif kind == "sample":
+                tracer.samples.append(Sample(rec["t"], rec["pid"],
+                                             rec["kind"], rec["v"]))
+            elif kind == "end":
+                footer = rec
+            else:
+                raise SimConfigError(
+                    f"{path}:{lineno}: unknown record type {kind!r}")
+    if header is None:
+        raise SimConfigError(f"{path}: empty trace file")
+    if footer is None:
+        raise SimConfigError(
+            f"{path}: truncated trace (no end record; writer died mid-run?)")
+    if footer.get("samples") != len(tracer.samples):
+        raise SimConfigError(
+            f"{path}: sample count mismatch (footer says "
+            f"{footer.get('samples')}, file holds {len(tracer.samples)})")
+    return LoadedTrace(schema=header["schema"], meta=header.get("meta", {}),
+                       tracer=tracer)
+
+
+TracerLike = Union[Tracer, TraceWriter]
+
+__all__ = ["LoadedTrace", "TRACE_SCHEMA_VERSION", "TraceWriter", "TracerLike",
+           "export_trace", "load_trace"]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from .errors import SimConfigError, SimDeadlockError, SimRuntimeError
 from .events import EventQueue
@@ -11,6 +11,9 @@ from .messages import Message
 from .network import NetworkModel, uniform_network
 from .process import SimProcess
 from .stats import RunStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..obs.registry import MetricsRegistry
 
 
 class Simulator:
@@ -39,10 +42,16 @@ class Simulator:
 
     def __init__(self, network: Optional[NetworkModel] = None, seed: int = 0,
                  auto_place: bool = True, debug: bool = False,
-                 faults: Optional[FaultPlan] = None) -> None:
+                 faults: Optional[FaultPlan] = None,
+                 metrics: Optional["MetricsRegistry"] = None) -> None:
         self.network = network if network is not None else uniform_network()
         self.seed = seed
         self.debug = debug
+        # Observability registry (repro.obs). None by default: every
+        # publishing site in the framework is gated on an ``is not None``
+        # check, so detached runs pay nothing and instrumented runs are
+        # bit-identical (the registry never touches simulation state).
+        self.metrics = metrics
         # A null plan normalises to no controller at all: with
         # ``self.faults is None`` every fault hook below is one dead branch
         # and the engine behaves bit-identically to the pre-fault code.
@@ -208,7 +217,11 @@ class Simulator:
             proc._occupy_event = None
         proc._cpu_busy = False
         self.faults.crashed.add(pid)
-        self.stats.per_process[pid].crashes += 1
+        ps = self.stats.per_process[pid]
+        ps.crashes += 1
+        ps.crash_time = self.now
+        if self.metrics is not None:
+            self.metrics.counter("engine.crashes").inc()
         tracer = getattr(proc, "tracer", None)
         if tracer is not None:
             from .trace import CRASH
@@ -231,6 +244,9 @@ class Simulator:
         if self.stats.makespan == 0.0:
             self.stats.makespan = self.now
         self.stats.seal()
+        if self.metrics is not None:
+            self.metrics.gauge("engine.events").set(self.stats.events_fired)
+            self.metrics.gauge("engine.makespan_s").set(self.stats.makespan)
 
 
 __all__ = ["Simulator"]

@@ -25,7 +25,7 @@ coordinator persists.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .errors import SimConfigError
 from .messages import Message

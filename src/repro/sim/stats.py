@@ -33,9 +33,19 @@ class ProcessStats:
     retransmits: int = 0          # reliable-channel retransmissions sent
     crashes: int = 0              # 1 when this process crash-stopped
     repairs: int = 0              # overlay splices this node performed
+    #: virtual time this process crash-stopped (+inf while alive): its
+    #: accountable lifetime ends here, not at the run horizon
+    crash_time: float = float("inf")
 
     def idle_time(self, horizon: float) -> float:
-        """Time neither computing nor handling messages, within ``horizon``."""
+        """Time neither computing nor handling messages, within ``horizon``.
+
+        A crashed process stops accruing idle time at its crash: its
+        accountable window is ``min(horizon, crash_time)``, so fault-run
+        utilization reports are not skewed by dead nodes "idling" until
+        the makespan.
+        """
+        horizon = min(horizon, self.crash_time)
         return max(0.0, horizon - self.busy_time - self.handler_time)
 
 

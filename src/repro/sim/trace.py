@@ -27,6 +27,8 @@ IDLE = "idle"            # value = idle-episode start marker
 FINISH = "finish"        # value = 0 (local termination)
 CRASH = "crash"          # value = 0 (this process crash-stopped)
 REPAIR = "repair"        # value = the spliced/adopted peer's pid
+TRANSFER = "transfer"    # value = src pid of a merged WORK transfer
+                         # (pid = the receiver); feeds the steal matrix
 
 
 @dataclass(slots=True)
@@ -129,4 +131,4 @@ def render_profile(profile: list[tuple[float, float]],
 
 
 __all__ = ["Tracer", "Sample", "render_profile", "QUANTUM", "MESSAGE",
-           "IDLE", "FINISH", "CRASH", "REPAIR"]
+           "IDLE", "FINISH", "CRASH", "REPAIR", "TRANSFER"]

@@ -5,7 +5,7 @@ import pytest
 from repro.apps.bnb_app import BnBApplication
 from repro.baselines.ahmw import AHMW_DEGREE, AHMWNode, build_ahmw_tree
 from repro.bnb.engine import BnBEngine, solve_bruteforce
-from repro.bnb.interval import factorials, tree_leaves
+from repro.bnb.interval import factorials
 from repro.bnb.state import BoundState
 from repro.bnb.taillard import scaled_instance
 from repro.core.worker import WorkerConfig

@@ -1,9 +1,7 @@
 """Protocol-level tests of random work stealing."""
 
-import pytest
-
 from repro.apps.synthetic import SyntheticApplication
-from repro.baselines.rws import NACK, STEAL, RWSWorker, detection_tree
+from repro.baselines.rws import STEAL, RWSWorker, detection_tree
 from repro.core.worker import WorkerConfig
 from repro.sim import Simulator, uniform_network
 

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.bnb.engine import BnBEngine, solve_bruteforce
-from repro.bnb.flowshop import make_instance
 from repro.bnb.interval import prefix_block, tree_leaves
 from repro.bnb.state import BoundState
 from repro.bnb.taillard import scaled_instance

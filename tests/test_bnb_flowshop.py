@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.bnb.flowshop import FlowshopInstance, make_instance
+from repro.bnb.flowshop import make_instance
 from repro.sim.errors import SimConfigError
 
 # Classic hand-checkable 2-machine example

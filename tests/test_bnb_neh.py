@@ -2,7 +2,6 @@
 
 import itertools
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.bnb.engine import solve_bruteforce

@@ -4,7 +4,7 @@ import pytest
 
 from repro.apps.synthetic import SyntheticApplication
 from repro.core.config import OCLBConfig
-from repro.core.oclb import BRIDGE, DOWN, REQ, UP, OverlayWorker
+from repro.core.oclb import BRIDGE, OverlayWorker
 from repro.core.worker import WorkerConfig
 from repro.overlay.bridges import add_bridges
 from repro.overlay.tree import chain_tree, deterministic_tree

@@ -1,7 +1,5 @@
 """Unit tests for the four-counter termination waves."""
 
-import pytest
-
 from repro.core.termination import WAVE_R, TerminationWaves
 from repro.sim import Message, SimProcess, Simulator, uniform_network
 

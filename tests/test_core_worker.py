@@ -3,7 +3,7 @@
 import pytest
 
 from repro.apps.synthetic import SyntheticApplication, SyntheticWork
-from repro.core.worker import BOUND, WORK, WorkerConfig, WorkerProcess
+from repro.core.worker import WorkerConfig, WorkerProcess
 from repro.sim import Simulator, uniform_network
 from repro.sim.errors import SimRuntimeError
 

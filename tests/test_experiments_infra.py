@@ -4,13 +4,13 @@ import pytest
 
 from repro.apps.synthetic import SyntheticApplication
 from repro.apps.uts_app import UTSApplication
-from repro.experiments.config import (SCALES, Scale, bnb_app, bnb_instances,
+from repro.experiments.config import (SCALES, bnb_app, bnb_instances,
                                       get_scale, uts_app)
 from repro.experiments.registry import EXPERIMENTS, ORDER, get_experiment
 from repro.experiments.report import (Series, banner, fmt, render_series,
                                       render_table)
 from repro.experiments.runner import (PROTOCOLS, RunConfig, TrialStats,
-                                      run_once, run_trials)
+                                      run_trials)
 from repro.experiments.seqref import (sequential_optimum, sequential_time,
                                       sequential_units)
 from repro.sim.errors import SimConfigError

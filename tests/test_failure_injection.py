@@ -6,12 +6,10 @@ clean termination. This is the harness that historically catches
 termination-detection races.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.apps.synthetic import SyntheticApplication
 from repro.apps.uts_app import UTSApplication
-from repro.core.config import OCLBConfig
 from repro.experiments.runner import RunConfig, run_once
 from repro.uts.params import PRESETS
 from repro.uts.sequential import count_tree
@@ -148,7 +146,6 @@ def test_property_conservation_under_crash_chaos(proto, n, crashes, loss,
 
 
 def test_uniform_bridge_policy_still_correct():
-    from repro.experiments.runner import build_workers
     from repro.core.oclb import OverlayWorker
     from repro.core.worker import WorkerConfig
     from repro.overlay.bridges import add_bridges

@@ -14,7 +14,6 @@ from repro.experiments.runner import RunConfig, run_once
 from repro.sim import Simulator, grid5000
 from repro.sim.errors import SimConfigError, SimDeadlockError
 from repro.sim.faults import FaultPlan
-from repro.sim.network import NetworkModel
 from repro.sim.process import SimProcess
 from repro.uts.params import PRESETS
 from repro.uts.sequential import count_tree

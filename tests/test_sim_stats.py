@@ -11,6 +11,41 @@ def test_process_stats_idle_time():
     assert p.idle_time(horizon=0.2) == 0.0  # clamped
 
 
+def test_idle_time_stops_at_crash():
+    """Regression: a crashed process must not accrue idle until the horizon.
+
+    Its accountable window ends at crash_time — a node dead at t=0.5 of a
+    2.0s run idled for 0.1s (0.5 - 0.4 active), not 1.6s.
+    """
+    dead = ProcessStats(pid=1, busy_time=0.3, handler_time=0.1,
+                        crashes=1, crash_time=0.5)
+    assert dead.idle_time(horizon=2.0) == pytest.approx(0.1)
+    alive = ProcessStats(pid=2, busy_time=0.3, handler_time=0.1)
+    assert alive.idle_time(horizon=2.0) == pytest.approx(1.6)
+    # crash after the horizon: the horizon still wins
+    late = ProcessStats(pid=3, busy_time=0.3, crash_time=5.0)
+    assert late.idle_time(horizon=1.0) == pytest.approx(0.7)
+
+
+def test_engine_stamps_crash_time():
+    """A faulted run records when each victim died, bounding its idle."""
+    from repro.apps.synthetic import SyntheticApplication
+    from repro.experiments.runner import RunConfig, run_instrumented
+    from repro.sim.faults import FaultPlan
+
+    cfg = RunConfig(protocol="BTD", n=8, quantum=16, seed=11,
+                    faults=FaultPlan(crashes=((3, 1e-3),)))
+    _, stats = run_instrumented(cfg, SyntheticApplication(2000,
+                                                          unit_cost=1e-5))
+    victim = stats.per_process[3]
+    assert victim.crashes == 1
+    assert victim.crash_time == pytest.approx(1e-3)
+    assert victim.crash_time < stats.makespan
+    assert victim.idle_time(stats.makespan) <= victim.crash_time
+    survivor = stats.per_process[0]
+    assert survivor.crash_time == float("inf")
+
+
 def test_runstats_create():
     rs = RunStats.create(4)
     assert rs.n == 4

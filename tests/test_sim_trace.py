@@ -5,7 +5,7 @@ import pytest
 from repro.apps.uts_app import UTSApplication
 from repro.experiments.runner import RunConfig, run_once
 from repro.sim.errors import SimConfigError
-from repro.sim.trace import (FINISH, IDLE, MESSAGE, QUANTUM, Tracer,
+from repro.sim.trace import (FINISH, MESSAGE, QUANTUM, Tracer,
                              render_profile)
 from repro.uts.params import PRESETS
 

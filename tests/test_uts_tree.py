@@ -5,7 +5,7 @@ import pytest
 
 from repro.sim.errors import SimConfigError
 from repro.uts.params import PAPER_INSTANCES, PRESETS, get_preset
-from repro.uts.rng import child_states, decide_unit
+from repro.uts.rng import decide_unit
 from repro.uts.sequential import count_tree
 from repro.uts.tree import UTSParams, child_counts, expand, root_frontier
 

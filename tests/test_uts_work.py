@@ -1,6 +1,5 @@
 """Tests for UTSWork: conservation, splitting, distributed-count equivalence."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
