@@ -22,6 +22,15 @@ what the fault-injection layer costs: no-plan vs null-plan runs must be
 bit-identical (asserted), and a loss curve quantifies the reliable
 channel's overhead. Writes ``BENCH_faults.json``.
 
+The ``live`` mode times the :mod:`repro.runtime` multi-process backend —
+end-to-end makespan and steal throughput of a small UTS tree at 2 and 4
+workers, next to the simulator's wall-clock rate on the same workload —
+and writes ``BENCH_runtime.json``. The regression gate compares a fresh
+``live`` recording against the committed one with generous bands
+(``check_regression.py --baseline benchmarks/BENCH_runtime.json``):
+real sockets and scheduler jitter move these numbers far more than the
+in-process kernels.
+
 ``--quick`` shrinks the kernel budgets (CI-sized: the regression gate in
 ``check_regression.py`` runs ``kernels --quick`` on every PR); ``--out``
 redirects the JSON so a fresh recording can be compared against the
@@ -276,6 +285,66 @@ def faults():
     print(f"wrote {out}")
 
 
+def live_backend(quick=False, out=None):
+    """Live multi-process backend vs the simulator on the same UTS tree."""
+    from repro.experiments.runner import RunConfig, run_instrumented
+    from repro.experiments.specs import UTSSpec
+    from repro.runtime.supervisor import LiveConfig, run_live
+    from repro.uts.params import PRESETS
+
+    preset = "bin_tiny"
+    repeats = 2 if quick else 3
+    spec = UTSSpec(PRESETS[preset].params)
+    _eq_rate, calib_rate = gated_rates()
+
+    after = {}
+    steals = {}
+    for n in (2, 4):
+        best_units_s = 0.0
+        best_steals_s = 0.0
+        for rep in range(repeats):
+            res = run_live(LiveConfig(
+                protocol="BTD", n=n, app={"kind": "uts", "preset": preset},
+                seed=42 + rep, timeout_s=120.0)).result
+            assert res.total_units == BASELINE_LIVE_NODES, res.total_units
+            best_units_s = max(best_units_s, res.total_units / res.makespan)
+            best_steals_s = max(best_steals_s, res.total_steals / res.makespan)
+        after[f"live_uts_units_per_s_n{n}"] = round(best_units_s)
+        steals[n] = round(best_steals_s, 1)
+
+    def sim_run():
+        cfg = RunConfig(protocol="BTD", n=4, quantum=64, seed=42)
+        return run_instrumented(cfg, spec.build())[0]
+
+    sim_res, sim_wall = best_of(sim_run, repeats=repeats, warmup=1)
+    after["sim_uts_units_per_wall_s_n4"] = round(sim_res.total_units
+                                                 / sim_wall)
+
+    report = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": quick,
+        "preset": preset,
+        "calibration_ops_per_s": round(calib_rate),
+        # context, not gated: steal traffic per wall second, and the
+        # virtual-time makespan the simulator predicts for this workload
+        "live_steal_reqs_per_s": steals,
+        "sim_virtual_makespan_s": sim_res.makespan,
+        "metrics": {name: {"after": value} for name, value in after.items()},
+    }
+    out = (pathlib.Path(out) if out
+           else pathlib.Path(__file__).with_name("BENCH_runtime.json"))
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    for name, value in after.items():
+        print(f"{name:32s} {value:>12,}")
+    print(f"wrote {out}")
+
+
+#: bin_tiny's sequential node count — every live bench run must still
+#: explore exactly this many nodes or the recording is invalid.
+BASELINE_LIVE_NODES = 21_483
+
+
 def kernels(quick=False, out=None):
     eq_rate, calib_rate = gated_rates()
     if quick:
@@ -326,19 +395,21 @@ def main(argv=None):
     import argparse
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("mode", nargs="?", default="kernels",
-                        choices=("kernels", "harness", "faults"))
+                        choices=("kernels", "harness", "faults", "live"))
     parser.add_argument("--jobs", type=int, default=0,
                         help="pool size for harness mode (0 = all cores)")
     parser.add_argument("--quick", action="store_true",
-                        help="kernels mode: CI-sized budgets")
+                        help="kernels/live mode: CI-sized budgets")
     parser.add_argument("--out", default=None,
-                        help="kernels mode: write the JSON here instead of "
-                             "overwriting the committed baseline")
+                        help="kernels/live mode: write the JSON here instead "
+                             "of overwriting the committed baseline")
     args = parser.parse_args(argv)
     if args.mode == "harness":
         harness(args.jobs)
     elif args.mode == "faults":
         faults()
+    elif args.mode == "live":
+        live_backend(quick=args.quick, out=args.out)
     else:
         kernels(quick=args.quick, out=args.out)
 

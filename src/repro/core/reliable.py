@@ -163,7 +163,7 @@ class ReliableChannel:
         if self.host.sim.is_crashed(xf.dst):
             # perfect failure detection: consult ground truth instead of
             # burning the full retry ladder against a dead peer
-            self._declare_dead(xf.dst)
+            self.peer_crashed(xf.dst)
             return
         if self._m_retransmits is not None:
             self._m_retransmits.inc()
@@ -175,29 +175,29 @@ class ReliableChannel:
         self._transmit(xf)
         self._schedule(xf)
 
-    def _declare_dead(self, pid: int) -> None:
+    def peer_crashed(self, pid: int) -> None:
         """Settle every transfer to a crashed peer and notify the host.
 
         WORK pieces the peer never logged are recovered (merged back by the
         host); everything else — and WORK the peer *did* receive before
-        crashing — is abandoned.
+        crashing — is abandoned.  The retry timers reach this through the
+        perfect-FD consult above; the live runtime's failure detector calls
+        it directly when the supervisor announces a death.  Which log gets
+        peeked is the environment's business
+        (:meth:`repro.sim.engine.Simulator.peer_logged` — the simulator
+        reads the peer's in-memory dedup set, the live environment reads
+        the on-disk spool the dead process left behind).
         """
+        host = self.host
         recovered = []
         for xf in [x for x in self._pending.values() if x.dst == pid]:
             del self._pending[xf.seq]
             xf.done = True
             if xf.kind == _WORK:
                 self._pending_work -= 1
-                if not self._peer_logged(pid, xf.seq):
+                if not host.sim.peer_logged(pid, host.pid, xf.seq):
                     recovered.append(xf.payload[0])  # the work piece
-        self.host.channel_peer_dead(pid, recovered)
-
-    def _peer_logged(self, pid: int, seq: int) -> bool:
-        # the dead peer's dedup set stands in for a stable receive log;
-        # reading it post-mortem is the modelled "recovery from the log"
-        peer = self.host.sim.processes[pid]
-        ch = getattr(peer, "_reliable", None)
-        return ch is not None and ch.was_delivered(self.host.pid, seq)
+        host.channel_peer_dead(pid, recovered)
 
 
 __all__ = ["ReliableChannel", "RMSG", "RACK"]

@@ -203,15 +203,26 @@ class WorkerProcess(SimProcess):
             self.on_idle()
 
     def _run_quantum(self) -> None:
+        live = self.sim.live
+        if live:
+            from time import perf_counter
+            t0 = perf_counter()
         outcome = self.app.process(self.work, self.cfg.quantum, self.shared)
         if outcome.units <= 0:
             # a non-empty container that yields nothing is drained
             self.on_idle()
             return
-        duration = outcome.units * self.app.unit_cost / self.cfg.speed
         st = self.stats
         st.work_units += outcome.units
-        st.busy_time += duration
+        if live:
+            # the quantum already *took* real time inside app.process:
+            # record what was measured and yield the loop immediately so
+            # queued messages interleave between quanta
+            st.busy_time += perf_counter() - t0
+            duration = 0.0
+        else:
+            duration = outcome.units * self.app.unit_cost / self.cfg.speed
+            st.busy_time += duration
         self.occupy(duration,
                     lambda: self._quantum_done(outcome.units,
                                                outcome.improved),

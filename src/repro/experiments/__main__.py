@@ -5,11 +5,16 @@ Usage::
     python -m repro.experiments --all --scale quick
     python -m repro.experiments table1 fig5 --scale default --out results.txt
     python -m repro.experiments report --app uts --preset bin_mini --n 16
+    python -m repro.experiments live --n 4 --kill 2@500u --expect-conserved
     repro-experiments fig3                      # console script
 
-``report`` is a subcommand with its own flags (see
-:mod:`repro.experiments.runreport`): it runs one instrumented simulation
-and emits a per-run observability report instead of a paper table.
+Subcommands (each has its own ``--help``):
+
+* ``report`` — one instrumented *simulated* run, rendered as a full
+  observability report (:mod:`repro.experiments.runreport`);
+* ``live`` — one *wall-clock multi-process* run over real sockets, same
+  report format, with optional fault injection and simulator
+  cross-validation (:mod:`repro.experiments.live`).
 """
 
 from __future__ import annotations
@@ -20,6 +25,14 @@ import sys
 from .config import SCALES, get_scale
 from .registry import ORDER, get_experiment
 
+#: subcommand -> (module summary line, entry point import path); the
+#: --help epilog is generated from this so it cannot drift from dispatch
+SUBCOMMANDS = {
+    "report": "run one instrumented simulation and emit a run report",
+    "live": "run the protocols over real OS processes and sockets "
+            "(optionally injecting worker kills)",
+}
+
 
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
@@ -27,14 +40,21 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "report":
         from .runreport import report_main
         return report_main(argv[1:])
+    if argv and argv[0] == "live":
+        from .live import live_main
+        return live_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables/figures of 'Overlay-Centric "
-                    "Load Balancing' (CLUSTER 2012) on the simulator.")
+                    "Load Balancing' (CLUSTER 2012) on the simulator.",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="subcommands:\n" + "\n".join(
+            f"  {name:<8} {desc}" for name, desc in SUBCOMMANDS.items())
+        + "\n  (use '<subcommand> --help' for their flags)")
     parser.add_argument("experiments", nargs="*",
                         help=f"experiment ids: {', '.join(ORDER)} "
-                             "(or the 'report' subcommand, see "
-                             "'report --help')")
+                             f"(or a subcommand: "
+                             f"{', '.join(SUBCOMMANDS)})")
     parser.add_argument("--all", action="store_true",
                         help="run every experiment in paper order")
     parser.add_argument("--scale", default="default", choices=sorted(SCALES),

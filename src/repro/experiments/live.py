@@ -1,0 +1,223 @@
+"""The ``live`` subcommand: one wall-clock multi-process run.
+
+Usage::
+
+    python -m repro.experiments live --app uts --preset bin_tiny \
+        --protocol BTD --n 4
+    python -m repro.experiments live --n 4 --fault-tolerance \
+        --kill 2@500u --expect-conserved --json report.json
+
+Spawns N OS worker processes under the :mod:`repro.runtime` supervisor —
+the same protocol code the simulator executes, over real sockets — and
+prints the same :class:`repro.obs.report.RunReport` rendering the
+``report`` subcommand produces for simulated runs (``--json`` emits the
+identical schema, with ``meta.live: true``).
+
+Fault injection is real: ``--kill PID@0.5s`` SIGKILLs a worker half a
+second after start, ``--kill PID@500u`` once its write-ahead spool shows
+500 processed units (deterministic enough for CI).  With
+``--expect-conserved`` the exit status asserts the exact work-conservation
+identity over survivors + spools; with ``--compare-sim`` the run is
+cross-checked against the discrete-event simulator (equal UTS node
+counts, equal B&B optima).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from typing import Optional
+
+from ..obs.report import build_report
+from ..uts.params import PRESETS
+from .runner import PROTOCOLS
+
+#: Protocols the live backend supports (MW/AHMW/LIFELINE would run, but
+#: only these are cross-validated; keep the CLI honest).
+LIVE_PROTOCOLS = tuple(p for p in PROTOCOLS
+                       if p in ("TD", "BTD", "TR", "BTR", "RWS"))
+
+_KILL_RE = re.compile(r"^(\d+)@(\d+(?:\.\d+)?)(s|u)$")
+
+
+def parse_kill(text: str) -> dict:
+    """``PID@<delay>s`` (wall seconds) or ``PID@<units>u`` (spooled units)."""
+    m = _KILL_RE.match(text)
+    if not m:
+        raise argparse.ArgumentTypeError(
+            f"bad --kill spec {text!r} (want e.g. 2@0.5s or 2@500u)")
+    pid, value, unit = int(m.group(1)), m.group(2), m.group(3)
+    if unit == "s":
+        return {"pid": pid, "after_s": float(value)}
+    return {"pid": pid, "after_units": int(float(value))}
+
+
+def add_live_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--app", choices=("uts", "bnb"), default="uts")
+    parser.add_argument("--preset", default="bin_tiny",
+                        help="UTS preset (default: bin_tiny)")
+    parser.add_argument("--bnb-index", type=int, default=1,
+                        help="Taillard instance index (Ta(20+i))")
+    parser.add_argument("--bnb-jobs", type=int, default=8)
+    parser.add_argument("--bnb-machines", type=int, default=5)
+    parser.add_argument("--bound", default="lb1")
+    parser.add_argument("--protocol", default="BTD", choices=LIVE_PROTOCOLS)
+    parser.add_argument("--n", type=int, default=4)
+    parser.add_argument("--quantum", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--dmax", type=int, default=10)
+    parser.add_argument("--sharing", default="proportional")
+    parser.add_argument("--transport", choices=("tcp", "unix"),
+                        default="tcp")
+    parser.add_argument("--port", type=int, default=0,
+                        help="preferred TCP port (0 = ephemeral)")
+    parser.add_argument("--run-dir", default=None,
+                        help="artifact directory (default: a tempdir)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="supervisor watchdog (wall seconds)")
+    parser.add_argument("--fault-tolerance", action="store_true",
+                        help="reliable channel + write-ahead spools")
+    parser.add_argument("--kill", action="append", type=parse_kill,
+                        default=[], metavar="PID@SPEC",
+                        help="SIGKILL a worker: 2@0.5s (wall delay) or "
+                             "2@500u (after spooled units); implies "
+                             "--fault-tolerance")
+    parser.add_argument("--expect-conserved", action="store_true",
+                        help="fail unless the work-conservation identity "
+                             "holds exactly")
+    parser.add_argument("--compare-sim", action="store_true",
+                        help="also run the simulator and cross-check "
+                             "(UTS node counts / B&B optimum)")
+    parser.add_argument("--trace", dest="trace_out", default=None,
+                        help="write the merged NDJSON trace here")
+    parser.add_argument("--json", dest="json_out", default=None,
+                        help="write the JSON run report here")
+    parser.add_argument("--out", default=None,
+                        help="also write the rendered report here")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the stdout rendering")
+
+
+def _app_spec(args) -> dict:
+    if args.app == "uts":
+        if args.preset not in PRESETS:
+            raise SystemExit(f"unknown UTS preset {args.preset!r}; "
+                             f"known: {', '.join(sorted(PRESETS))}")
+        if not PRESETS[args.preset].runnable:
+            raise SystemExit(f"preset {args.preset!r} is paper-scale "
+                             "(not runnable here)")
+        return {"kind": "uts", "preset": args.preset}
+    return {"kind": "bnb", "index": args.bnb_index, "jobs": args.bnb_jobs,
+            "machines": args.bnb_machines, "bound": args.bound}
+
+
+def _compare_sim(live, cfg, args) -> list[str]:
+    """Cross-validate the live run against the simulator; returns errors."""
+    from .runner import run_instrumented
+    from ..runtime.worker import build_app
+    app, _label = build_app(cfg.app)
+    sim_result, _sim_stats = run_instrumented(cfg.run_config(), app)
+    errors = []
+    if args.app == "uts" and not live.killed \
+            and live.result.total_units != sim_result.total_units:
+        # with kills, part of the tree sits in the victim's spool — the
+        # conservation identity (--expect-conserved) is the check there
+        errors.append(f"UTS node counts diverge: live "
+                      f"{live.result.total_units} != simulated "
+                      f"{sim_result.total_units}")
+    if args.app == "bnb" and live.result.optimum != sim_result.optimum:
+        errors.append(f"B&B optima diverge: live {live.result.optimum} != "
+                      f"simulated {sim_result.optimum}")
+    return errors
+
+
+def live_main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments live",
+        description="Run one live multi-process execution over sockets.")
+    add_live_arguments(parser)
+    args = parser.parse_args(argv)
+
+    from ..runtime.supervisor import (LiveAborted, LiveConfig,
+                                      LiveRuntimeError, run_live)
+    spec = _app_spec(args)
+    want_trace = bool(args.trace_out)
+    cfg = LiveConfig(
+        protocol=args.protocol, n=args.n, app=spec, dmax=args.dmax,
+        sharing=args.sharing, quantum=args.quantum, seed=args.seed,
+        transport=args.transport, port=args.port, run_dir=args.run_dir,
+        trace=want_trace, timeout_s=args.timeout,
+        fault_tolerance=args.fault_tolerance or bool(args.kill),
+        kills=tuple(args.kill))
+    try:
+        live = run_live(cfg)
+    except LiveAborted as exc:
+        print(f"aborted ({exc}); workers drained", file=sys.stderr)
+        return 130
+    except LiveRuntimeError as exc:
+        print(f"live run failed: {exc}", file=sys.stderr)
+        return 1
+
+    label = (f"uts/{args.preset}" if args.app == "uts"
+             else f"bnb/ta{20 + args.bnb_index}"
+                  f"@{args.bnb_jobs}x{args.bnb_machines}/{args.bound}")
+    tracer = None
+    if live.trace_path is not None:
+        from ..obs.export import load_trace
+        tracer = load_trace(live.trace_path).tracer
+    unit_cost = 0.0   # live busy time is measured, not priced
+    report = build_report(cfg.run_config(), live.result, live.stats,
+                          tracer=tracer, metrics=live.metrics, app=label,
+                          unit_cost=unit_cost,
+                          extra_meta={"live": True, "run_dir": live.run_dir,
+                                      "killed": list(live.killed),
+                                      "conserved_units": live.conserved,
+                                      "wall_s": live.wall_s})
+
+    text = report.render()
+    if not args.quiet:
+        print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(report.to_json(), fh, indent=2)
+            fh.write("\n")
+    if args.trace_out and live.trace_path and args.trace_out != live.trace_path:
+        import shutil
+        shutil.copyfile(live.trace_path, args.trace_out)
+
+    failures = []
+    if args.expect_conserved:
+        if live.conserved is None:
+            failures.append("--expect-conserved needs --fault-tolerance")
+        elif args.app != "uts":
+            # B&B explores a bound-dependent node set; only UTS has a
+            # fixed sequential total to conserve against
+            failures.append("--expect-conserved is defined for UTS runs")
+        else:
+            from ..runtime.worker import build_app
+            from ..runtime.spool import drain
+            app, _ = build_app(spec)
+            sequential = drain(app.initial_work(), app, app.make_shared())
+            if live.conserved != sequential:
+                failures.append(f"conservation violated: accounted "
+                                f"{live.conserved} != sequential "
+                                f"{sequential}")
+            elif not args.quiet:
+                print(f"conservation exact: {live.conserved} units "
+                      f"accounted across survivors, spools and transfers")
+    if args.compare_sim:
+        errs = _compare_sim(live, cfg, args)
+        failures.extend(errs)
+        if not errs and not args.quiet:
+            print("live run matches the simulator")
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+__all__ = ["LIVE_PROTOCOLS", "add_live_arguments", "live_main", "parse_kill"]

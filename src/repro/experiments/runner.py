@@ -67,6 +67,10 @@ class RunConfig:
     speed_placement: str = "random"
     #: fault injection (crashes / loss / duplication); None = clean run
     faults: Optional[FaultPlan] = None
+    #: reliable-channel base retransmit delay (virtual seconds in the
+    #: simulator, wall seconds in the live runtime, which overrides the
+    #: default with socket-scale pacing)
+    ack_timeout: float = 2e-3
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -134,16 +138,23 @@ def _speeds(cfg: RunConfig) -> list[float]:
     return speeds
 
 
-def build_workers(sim: Simulator, cfg: RunConfig,
-                  app: Application) -> list[WorkerProcess]:
-    """Instantiate the protocol's process population on ``sim``."""
+def worker_factory(cfg: RunConfig,
+                   app: Application) -> Callable[[int], WorkerProcess]:
+    """A ``pid -> WorkerProcess`` builder for one run configuration.
+
+    Shared structures (the overlay, RWS's initial-placement draw, worker
+    speeds) are built once when the factory is created, so calling the
+    factory for every pid reproduces exactly what :func:`build_workers`
+    always did — and the live runtime (:mod:`repro.runtime`), where each
+    OS process only ever constructs *its own* pid, builds workers through
+    the same code path instead of a diverging copy.
+    """
     speeds = _speeds(cfg)
 
     def wc_for(p: int) -> WorkerConfig:
         return WorkerConfig(quantum=cfg.quantum, seed=cfg.seed,
-                            speed=speeds[p])
+                            speed=speeds[p], ack_timeout=cfg.ack_timeout)
 
-    wc = wc_for(0)
     proto, n = cfg.protocol, cfg.n
     if proto in ("TD", "BTD", "TR", "BTR"):
         overlay = (deterministic_tree(n, cfg.dmax) if proto.endswith("TD")
@@ -151,37 +162,37 @@ def build_workers(sim: Simulator, cfg: RunConfig,
         if proto.startswith("B"):
             overlay = add_bridges(overlay, seed=cfg.seed)
         oclb = cfg.oclb or OCLBConfig(sharing=cfg.sharing)
-        return [sim.add_process(OverlayWorker(p, app, wc_for(p), overlay,
-                                              oclb))
-                for p in range(n)]
+        return lambda p: OverlayWorker(p, app, wc_for(p), overlay, oclb)
     if proto == "RWS":
         # "the application is pushed into [...] a random node in case of RWS"
         initial = RngStream(cfg.seed, "rws-initial").randrange(n)
         sharing = cfg.sharing if cfg.sharing != "proportional" else "half"
-        return [sim.add_process(RWSWorker(p, n, app, wc_for(p),
-                                          initial_pid=initial,
-                                          sharing=sharing))
-                for p in range(n)]
+        return lambda p: RWSWorker(p, n, app, wc_for(p),
+                                   initial_pid=initial, sharing=sharing)
     if proto == "MW":
-        procs: list[WorkerProcess] = [
-            sim.add_process(MWMaster(0, n, app, wc))]
-        procs += [sim.add_process(MWWorker(p, n, app, wc_for(p),
-                                           update_every=cfg.mw_update_every))
-                  for p in range(1, n)]
-        return procs
+        def make_mw(p: int) -> WorkerProcess:
+            if p == 0:
+                return MWMaster(0, n, app, wc_for(0))
+            return MWWorker(p, n, app, wc_for(p),
+                            update_every=cfg.mw_update_every)
+        return make_mw
     if proto == "AHMW":
         tree = deterministic_tree(n, AHMW_DEGREE)
-        return [sim.add_process(AHMWNode(p, app, wc_for(p), tree))
-                for p in range(n)]
+        return lambda p: AHMWNode(p, app, wc_for(p), tree)
     if proto == "LIFELINE":
         from ..baselines.lifeline import LifelineWorker
         initial = RngStream(cfg.seed, "rws-initial").randrange(n)
         sharing = cfg.sharing if cfg.sharing != "proportional" else "half"
-        return [sim.add_process(LifelineWorker(p, n, app, wc_for(p),
-                                               initial_pid=initial,
-                                               sharing=sharing))
-                for p in range(n)]
+        return lambda p: LifelineWorker(p, n, app, wc_for(p),
+                                        initial_pid=initial, sharing=sharing)
     raise SimConfigError(f"unhandled protocol {proto}")
+
+
+def build_workers(sim: Simulator, cfg: RunConfig,
+                  app: Application) -> list[WorkerProcess]:
+    """Instantiate the protocol's process population on ``sim``."""
+    make = worker_factory(cfg, app)
+    return [sim.add_process(make(p)) for p in range(cfg.n)]
 
 
 def run_once(cfg: RunConfig, app: Application, tracer=None,
@@ -304,4 +315,4 @@ def run_trials(cfg: RunConfig, app_factory: Callable[[], Application],
 
 __all__ = ["RunConfig", "ExperimentResult", "TrialStats", "PROTOCOLS",
            "build_workers", "cell_configs", "run_instrumented", "run_once",
-           "run_trials"]
+           "run_trials", "worker_factory"]

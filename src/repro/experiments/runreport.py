@@ -47,7 +47,7 @@ def _build_spec(args):
         return UTSSpec(preset.params), f"uts/{args.preset}"
     spec = BnBSpec(args.bnb_index, n_jobs=args.bnb_jobs,
                    n_machines=args.bnb_machines, bound=args.bound)
-    return spec, (f"bnb/ta{21 + args.bnb_index}"
+    return spec, (f"bnb/ta{20 + args.bnb_index}"
                   f"@{args.bnb_jobs}x{args.bnb_machines}/{args.bound}")
 
 
@@ -56,7 +56,7 @@ def add_report_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--preset", default="bin_mini",
                         help="UTS preset (default: bin_mini)")
     parser.add_argument("--bnb-index", type=int, default=1,
-                        help="Taillard instance index (Ta(21+i))")
+                        help="Taillard instance index (Ta(20+i))")
     parser.add_argument("--bnb-jobs", type=int, default=8)
     parser.add_argument("--bnb-machines", type=int, default=8)
     parser.add_argument("--bound", default="lb1")

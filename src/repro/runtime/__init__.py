@@ -1,0 +1,31 @@
+"""Live multi-process execution backend (`docs/runtime.md`).
+
+The simulator executes the overlay protocols in virtual time; this package
+executes the *same* protocol objects in wall time, over real OS processes
+connected by length-prefixed sockets:
+
+* :mod:`~repro.runtime.codec` — pickle-free (JSON-safe) wire encoding of
+  protocol messages and work pieces, plus the length-prefix framing;
+* :mod:`~repro.runtime.transport` — non-blocking framed connections and
+  the listener (EADDRINUSE retry with ephemeral-port fallback);
+* :mod:`~repro.runtime.env` — :class:`~repro.runtime.env.LiveEnv`, the
+  wall-clock implementation of the execution-environment surface defined
+  by :class:`repro.sim.engine.Simulator` (clock, timers, transport, stats,
+  faults); protocol code cannot tell the two apart;
+* :mod:`~repro.runtime.spool` — the write-ahead state spool a worker keeps
+  in fault mode, and the exact work-conservation accounting over it;
+* :mod:`~repro.runtime.worker` — the per-process entry point
+  (``python -m repro.runtime.worker``);
+* :mod:`~repro.runtime.supervisor` — spawns/monitors N workers, routes
+  messages, detects deaths (and injects ``SIGKILL`` faults), merges
+  traces/metrics and assembles the same
+  :class:`~repro.experiments.runner.ExperimentResult`/:class:`~repro.sim.stats.RunStats`
+  pair a simulated run yields.
+
+Entry point: ``python -m repro.experiments live`` (see
+:mod:`repro.experiments.live`).
+"""
+
+from .supervisor import LiveConfig, LiveResult, run_live
+
+__all__ = ["LiveConfig", "LiveResult", "run_live"]

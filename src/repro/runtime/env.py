@@ -1,0 +1,244 @@
+"""`LiveEnv`: the wall-clock execution environment of one live worker.
+
+Protocol code (``core/worker.py``, ``core/oclb.py``, ``core/termination.py``,
+``core/reliable.py``, the baselines) never imports the engine — it talks to
+``self.sim`` through a narrow surface: ``queue.now`` / ``queue.push``
+(clock + timers), ``transmit`` (transport), ``network.handler_cost``,
+``stats``, ``metrics``, ``debug``, ``seed``, and the fault trio
+(``faults`` / ``is_crashed`` / ``peer_logged``).  This module implements
+that exact surface over a monotonic wall clock, a timer heap and one
+framed socket to the supervisor, so a :class:`~repro.core.oclb.
+OverlayWorker` built by :func:`repro.experiments.runner.worker_factory`
+runs on a real process unchanged:
+
+* a simulated send becomes a frame on the supervisor socket (the
+  supervisor routes it to the destination worker);
+* a simulated timer becomes a heap entry the worker's selector loop fires
+  when its wall deadline passes;
+* ``handler_cost`` is 0 — handling takes whatever it really takes;
+* ``is_crashed`` consults the death announcements the supervisor
+  broadcasts (its EOF/SIGCHLD watch is the failure detector), and
+  ``peer_logged`` reads the on-disk spool the dead worker left behind —
+  the *actual* stable receive log the simulator only models
+  (:meth:`repro.sim.engine.Simulator.peer_logged`).
+
+Fidelity caveats vs the simulator are catalogued in ``docs/runtime.md``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Any, Callable, Optional
+
+from ..sim.errors import SimRuntimeError
+from ..sim.messages import Message
+from ..sim.stats import RunStats
+from .codec import message_to_frame
+from .spool import read_spool, spool_path
+from .transport import FramedConnection
+
+#: Timers fired per reactor iteration before the loop re-checks the
+#: socket. Compute chains (quantum -> occupy(0) -> next quantum) are
+#: zero-delay timer loops; an uncapped drain would starve inbound steals.
+MAX_TIMER_BATCH = 32
+
+
+class _LiveTimer:
+    """Heap entry duck-compatible with :class:`repro.sim.events.Event`."""
+
+    __slots__ = ("time", "action", "arg", "cancelled")
+
+    def __init__(self, time: float, action: Callable, arg: Any) -> None:
+        self.time = time
+        self.action = action
+        self.arg = arg
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class WallTimerQueue:
+    """Deadline heap over the monotonic clock; the env's ``queue``."""
+
+    __slots__ = ("_t0", "_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._t0 = time.monotonic()
+        self._heap: list[tuple[float, int, _LiveTimer]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Wall seconds since this environment started."""
+        return time.monotonic() - self._t0
+
+    def push(self, time: float, action: Callable, tag: str = "",
+             arg: Any = None) -> _LiveTimer:
+        """Schedule ``action`` at wall time ``time`` (same shape as the
+        simulator's ``queue.push``; ``tag`` is accepted and dropped)."""
+        ev = _LiveTimer(time, action, arg)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, ev))
+        return ev
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest pending deadline (skips cancelled heads)."""
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
+
+    def fire_due(self, limit: int = MAX_TIMER_BATCH) -> int:
+        """Run up to ``limit`` timers whose deadline has passed."""
+        fired = 0
+        heap = self._heap
+        while heap and fired < limit:
+            when, _, ev = heap[0]
+            if ev.cancelled:
+                heapq.heappop(heap)
+                continue
+            if when > self.now:
+                break
+            heapq.heappop(heap)
+            fired += 1
+            if ev.arg is not None:
+                ev.action(ev.arg)
+            else:
+                ev.action()
+        return fired
+
+
+class LiveFaults:
+    """Death knowledge fed by the supervisor's announcements.
+
+    Duck-types the slice of :class:`repro.sim.faults.FaultController` the
+    protocols consult: existence (``sim.faults is not None`` switches the
+    fault machinery on) and the ``crashed`` pid set.
+    """
+
+    __slots__ = ("crashed",)
+
+    def __init__(self) -> None:
+        self.crashed: set[int] = set()
+
+
+class LiveNetwork:
+    """Stand-in for the simulator's network model: the wire is real, so
+    nothing is priced here (``handler_cost`` exists because the base
+    process consults it when scheduling message absorption)."""
+
+    __slots__ = ()
+    handler_cost = 0.0
+
+
+class LiveEnv:
+    """Execution environment of one live worker process."""
+
+    live = True
+
+    def __init__(self, pid: int, n: int, conn: FramedConnection, *,
+                 seed: int = 0, fault_mode: bool = False,
+                 run_dir: Optional[str] = None, metrics=None,
+                 debug: bool = False) -> None:
+        self.pid = pid
+        self.n = n
+        self.conn = conn
+        self.seed = seed
+        self.debug = debug
+        self.metrics = metrics
+        self.queue = WallTimerQueue()
+        self.network = LiveNetwork()
+        # full-width stats so per_process indexes like the simulator's;
+        # only this pid's row accrues (the supervisor assembles the rest)
+        self.stats = RunStats.create(n)
+        self.faults: Optional[LiveFaults] = (LiveFaults() if fault_mode
+                                             else None)
+        self.run_dir = run_dir
+        self.proc = None
+        self._spool_cache: dict[int, Optional[dict]] = {}
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach(self, proc) -> None:
+        """Adopt ``proc`` as the (single) process this env executes."""
+        if proc.pid != self.pid:
+            raise SimRuntimeError(
+                f"env for pid {self.pid} cannot run pid {proc.pid}")
+        proc.sim = self
+        self.proc = proc
+
+    # -- clock -----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.queue.now
+
+    # -- transport -------------------------------------------------------------
+
+    def transmit(self, msg: Message) -> None:
+        """A protocol send: frame it toward the supervisor's router."""
+        if not (0 <= msg.dst < self.n):
+            raise SimRuntimeError(f"message to unknown process {msg.dst}")
+        st = self.stats.per_process[self.pid]
+        st.msgs_sent += 1
+        st.bytes_sent += msg.size_bytes
+        msg.send_time = self.now
+        if msg.dst == self.pid:
+            # self-sends loop locally through the timer queue (the router
+            # would only echo the frame back)
+            self.queue.push(self.now, self.proc._arrive, arg=msg)
+            return
+        self.conn.send_frame(message_to_frame(msg))
+
+    def deliver(self, msg: Message) -> None:
+        """A routed frame arrived for our process."""
+        self.proc._arrive(msg)
+
+    # -- work accounting -------------------------------------------------------
+
+    def note_work_done(self) -> None:
+        if self.now > self.stats.work_done_time:
+            self.stats.work_done_time = self.now
+
+    # -- failure detection -----------------------------------------------------
+
+    def is_crashed(self, pid: int) -> bool:
+        return self.faults is not None and pid in self.faults.crashed
+
+    def mark_dead(self, pid: int) -> None:
+        """Supervisor announced a death: absorb it and run the repair
+        machinery exactly as the simulator's perfect FD would."""
+        if self.faults is None or pid in self.faults.crashed:
+            return
+        self.faults.crashed.add(pid)
+        proc = self.proc
+        ch = getattr(proc, "_reliable", None)
+        if ch is not None:
+            # settles unacked transfers (recovering unlogged WORK via the
+            # dead peer's spool) and feeds learn_dead -> splice/adopt
+            ch.peer_crashed(pid)
+        elif hasattr(proc, "learn_dead"):
+            proc.learn_dead(pid)
+
+    def peer_logged(self, dead_pid: int, src_pid: int, seq: int) -> bool:
+        """Read the dead peer's write-ahead spool (its stable receive log).
+
+        The spool is final by the time a death is announced — the process
+        is gone, and its last commit hit the disk atomically — so the
+        answer is cached.  A missing spool means the peer died before
+        logging anything: recover everything.
+        """
+        if dead_pid not in self._spool_cache:
+            self._spool_cache[dead_pid] = (
+                read_spool(spool_path(self.run_dir, dead_pid))
+                if self.run_dir else None)
+        doc = self._spool_cache[dead_pid]
+        if doc is None:
+            return False
+        return seq in doc.get("recv_log", {}).get(str(src_pid), ())
+
+
+__all__ = ["LiveEnv", "LiveFaults", "LiveNetwork", "MAX_TIMER_BATCH",
+           "WallTimerQueue"]

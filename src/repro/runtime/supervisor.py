@@ -1,0 +1,593 @@
+"""Live-run supervisor: spawn N workers, route frames, detect deaths.
+
+One supervisor process per live run.  It owns the listener socket, spawns
+``python -m repro.runtime.worker`` once per pid, and then acts as:
+
+* **router** — workers hold a single connection each; the supervisor
+  relays ``msg`` frames by destination pid.  Relaying preserves arrival
+  order per connection, so the per-(src, dst) FIFO property the tree
+  termination argument relies on holds exactly as it does on the
+  simulator (and on the paper's TCP testbed).
+* **failure detector** — a worker EOF (or child exit) before its ``done``
+  report is a death; the supervisor broadcasts ``dead`` announcements and
+  the workers' repair machinery splices the overlay around the corpse.
+  Fault injection is real: a planned kill delivers ``SIGKILL`` to the
+  victim's OS process, either after a wall delay or once the victim's
+  spool shows it has processed a minimum number of units (deterministic
+  enough for CI).
+* **collector** — ``done`` reports carry each worker's
+  :class:`~repro.sim.stats.ProcessStats`, metrics snapshot and (fault
+  mode) receive log; the supervisor assembles the same
+  ``(ExperimentResult, RunStats)`` pair the simulator's
+  :func:`~repro.experiments.runner.run_instrumented` returns, merges
+  per-worker NDJSON trace shards into one schema-1 trace, and — in fault
+  mode — evaluates the exact four-place work-conservation identity over
+  the survivors' reports and the dead workers' spools
+  (:func:`repro.runtime.spool.conserved_units_live`).
+
+SIGINT/SIGTERM drain the fleet (broadcast abort-shutdown, grace period,
+escalate to SIGTERM/SIGKILL) and release every socket; the ``finally``
+teardown runs on all exits, so no code path leaks children or FDs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from selectors import EVENT_READ, EVENT_WRITE, DefaultSelector
+from typing import Optional
+
+from ..experiments.runner import ExperimentResult, RunConfig
+from ..obs.export import TraceWriter
+from ..obs.registry import MetricsRegistry
+from ..sim.errors import SimConfigError, SimRuntimeError
+from ..sim.stats import RunStats
+from ..sim.trace import CRASH
+from .codec import stats_from_wire
+from .spool import conserved_units_live, read_spool, spool_path
+from .transport import (FramedConnection, open_listener, unlink_quietly)
+
+#: Supervisor loop tick: bounds kill-trigger and watchdog latency.
+_TICK_S = 0.05
+#: Wall grace between an abort broadcast and SIGTERM, and between SIGTERM
+#: and SIGKILL, during teardown.
+_GRACE_S = 2.0
+
+
+class LiveRuntimeError(SimRuntimeError):
+    """A live run failed (worker error, handshake timeout, ...)."""
+
+
+class LiveAborted(Exception):
+    """The run was interrupted (SIGINT/SIGTERM); workers were drained."""
+
+
+@dataclass(slots=True)
+class LiveConfig:
+    """One live run (the wall-clock analogue of :class:`RunConfig`)."""
+
+    protocol: str = "BTD"
+    n: int = 4
+    app: dict = field(default_factory=lambda: {"kind": "uts",
+                                               "preset": "bin_tiny"})
+    dmax: int = 10
+    sharing: str = "proportional"
+    quantum: int = 64
+    seed: int = 0
+    transport: str = "tcp"          # "tcp" (loopback) or "unix"
+    host: str = "127.0.0.1"
+    port: int = 0                   # preferred port; 0 = ephemeral
+    run_dir: Optional[str] = None   # artifacts dir (default: a tempdir)
+    trace: bool = False             # per-worker NDJSON shards + merged trace
+    fault_tolerance: bool = False   # reliable channel + spools + repair
+    #: planned SIGKILLs: each ``{"pid": p, "after_s": t}`` or
+    #: ``{"pid": p, "after_units": u}`` (kill once p's spool shows >= u
+    #: processed units — the deterministic choice for tests/CI)
+    kills: tuple = ()
+    timeout_s: float = 120.0
+    #: live pacing overrides forwarded to the workers (None = the live
+    #: defaults in :mod:`repro.runtime.worker`)
+    ack_timeout: Optional[float] = None
+    wave_retry: Optional[float] = None
+    probe_retry: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise SimConfigError("n must be >= 1")
+        if self.transport not in ("tcp", "unix"):
+            raise SimConfigError(f"unknown transport {self.transport!r}")
+        for k in self.kills:
+            pid = k.get("pid")
+            if not isinstance(pid, int) or not (0 < pid < self.n):
+                raise SimConfigError(
+                    f"kill target must be a non-root pid < n, got {k!r}")
+            if ("after_s" in k) == ("after_units" in k):
+                raise SimConfigError(
+                    f"kill needs exactly one of after_s/after_units: {k!r}")
+        if self.kills and not self.fault_tolerance:
+            raise SimConfigError(
+                "planned kills require fault_tolerance=True")
+
+    def run_config(self) -> RunConfig:
+        """The equivalent simulator configuration (cross-validation)."""
+        return RunConfig(protocol=self.protocol, n=self.n, dmax=self.dmax,
+                         sharing=self.sharing, quantum=self.quantum,
+                         seed=self.seed)
+
+
+@dataclass(slots=True)
+class LiveResult:
+    """Everything a live run produced."""
+
+    result: ExperimentResult        # same shape the simulator returns
+    stats: RunStats                 # per-process counters (wall seconds)
+    metrics: MetricsRegistry        # merged across workers
+    conserved: Optional[int]        # fault mode: the four-place identity
+    killed: tuple[int, ...]         # pids actually SIGKILLed
+    run_dir: str
+    trace_path: Optional[str]
+    reports: dict                   # pid -> final worker report
+    spools: dict                    # pid -> last spool of each dead worker
+    wall_s: float                   # supervisor wall time, spawn to reap
+
+
+class _Worker:
+    __slots__ = ("pid", "popen", "conn", "done", "bye", "dead", "closed",
+                 "kill_at", "kill_units", "killed_at")
+
+    def __init__(self, pid: int, popen: subprocess.Popen) -> None:
+        self.pid = pid
+        self.popen = popen
+        self.conn: Optional[FramedConnection] = None
+        self.done = False
+        self.bye = False
+        self.dead = False          # died mid-run (crash semantics)
+        self.closed = False        # orderly post-shutdown close
+        self.kill_at: Optional[float] = None
+        self.kill_units: Optional[int] = None
+        self.killed_at: Optional[float] = None
+
+
+def _worker_json(cfg: LiveConfig, pid: int, endpoint: dict,
+                 run_dir: str) -> str:
+    run: dict = {"protocol": cfg.protocol, "n": cfg.n, "dmax": cfg.dmax,
+                 "sharing": cfg.sharing, "quantum": cfg.quantum,
+                 "seed": cfg.seed}
+    for name in ("ack_timeout", "wave_retry", "probe_retry"):
+        v = getattr(cfg, name)
+        if v is not None:
+            run[name] = v
+    return json.dumps({
+        "pid": pid, "endpoint": endpoint, "run": run, "app": cfg.app,
+        "fault_mode": cfg.fault_tolerance, "run_dir": run_dir,
+        "trace": cfg.trace, "timeout_s": cfg.timeout_s,
+    })
+
+
+def _spawn(cfg: LiveConfig, endpoint: dict, run_dir: str) -> list[_Worker]:
+    import repro
+    env = os.environ.copy()
+    src_dir = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    workers = []
+    for pid in range(cfg.n):
+        log = open(os.path.join(run_dir, f"worker_{pid}.log"), "wb")
+        try:
+            popen = subprocess.Popen(
+                [sys.executable, "-m", "repro.runtime.worker",
+                 _worker_json(cfg, pid, endpoint, run_dir)],
+                stdout=log, stderr=subprocess.STDOUT, env=env)
+        finally:
+            log.close()   # the child holds its own descriptor now
+        w = _Worker(pid, popen)
+        for k in cfg.kills:
+            if k["pid"] == pid:
+                w.kill_at = k.get("after_s")
+                w.kill_units = k.get("after_units")
+        workers.append(w)
+    return workers
+
+
+def run_live(cfg: LiveConfig) -> LiveResult:
+    """Execute one live run to completion (see module docstring)."""
+    t_start = time.monotonic()
+    run_dir = cfg.run_dir or tempfile.mkdtemp(prefix="repro-live-")
+    os.makedirs(run_dir, exist_ok=True)
+    unix_path = (os.path.join(run_dir, "supervisor.sock")
+                 if cfg.transport == "unix" else None)
+    listener, endpoint = open_listener(cfg.transport, host=cfg.host,
+                                       port=cfg.port, path=unix_path)
+    listener.setblocking(False)
+
+    interrupted: list[int] = []
+    restore: list[tuple] = []
+    if threading.current_thread() is threading.main_thread():
+        def _on_signal(signum, _frame):
+            interrupted.append(signum)
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            restore.append((signum, signal.signal(signum, _on_signal)))
+
+    workers = _spawn(cfg, endpoint, run_dir)
+    by_conn: dict = {}
+    sel = DefaultSelector()
+    sel.register(listener, EVENT_READ, "listener")
+    deadline = time.monotonic() + cfg.timeout_s
+    t_go: Optional[float] = None
+    t_go_epoch: Optional[float] = None
+    reports: dict[int, dict] = {}
+    hellos = 0
+    shutdown_sent = False
+
+    def broadcast(frame: dict, skip: int = -1) -> None:
+        for w in workers:
+            if (w.conn is not None and not w.dead and not w.closed
+                    and w.pid != skip):
+                w.conn.send_frame(frame)
+
+    def drop_conn(w: _Worker) -> None:
+        if w.conn is not None:
+            try:
+                sel.unregister(w.conn.sock)
+            except KeyError:
+                pass
+            w.conn.close()
+
+    def handle_frames(w: _Worker) -> None:
+        for frame in w.conn.receive():
+            t = frame.get("t")
+            if t == "msg":
+                dst = workers[frame["dst"]]
+                if (dst.conn is not None and not dst.dead
+                        and not dst.closed):
+                    dst.conn.send_frame(frame)
+            elif t == "done":
+                w.done = True
+                reports[w.pid] = frame
+            elif t == "bye":
+                w.bye = True
+                rep = reports.setdefault(w.pid, {})
+                for fld in ("recv_log", "crash_dropped"):
+                    if fld in frame:
+                        rep[fld] = frame[fld]
+
+    def on_death(w: _Worker) -> None:
+        if w.dead:
+            return
+        w.dead = True
+        drop_conn(w)
+        if w.killed_at is None and not cfg.fault_tolerance:
+            raise LiveRuntimeError(
+                f"worker {w.pid} died unexpectedly "
+                f"(exit {w.popen.poll()}); see {run_dir}/worker_{w.pid}.log")
+        broadcast({"t": "dead", "pid": w.pid})
+
+    try:
+        while True:
+            if interrupted:
+                raise LiveAborted(signal.Signals(interrupted[0]).name)
+            if time.monotonic() > deadline:
+                raise LiveRuntimeError(
+                    f"live run exceeded timeout_s={cfg.timeout_s}; "
+                    f"worker logs in {run_dir}")
+
+            for w in workers:
+                if w.conn is not None and not w.dead and not w.closed:
+                    flags = EVENT_READ | (EVENT_WRITE if w.conn.wants_write
+                                          else 0)
+                    sel.modify(w.conn.sock, flags, w)
+            for key, mask in sel.select(timeout=_TICK_S):
+                if key.data == "listener":
+                    try:
+                        sock, _addr = listener.accept()
+                    except OSError:
+                        continue
+                    conn = FramedConnection(sock)
+                    by_conn[sock] = conn
+                    sel.register(sock, EVENT_READ, conn)
+                    continue
+                if isinstance(key.data, FramedConnection):
+                    # pre-hello connection: wait for its pid
+                    conn = key.data
+                    for frame in conn.receive():
+                        if frame.get("t") == "hello":
+                            w = workers[frame["pid"]]
+                            w.conn = conn
+                            sel.modify(conn.sock, EVENT_READ, w)
+                            hellos += 1
+                    if conn.eof:
+                        sel.unregister(conn.sock)
+                        conn.close()
+                    continue
+                w = key.data
+                if w.dead or w.closed:
+                    continue   # stale event from earlier in this batch
+                if mask & EVENT_WRITE:
+                    w.conn.flush()
+                handle_frames(w)
+                if w.conn.eof:
+                    if shutdown_sent and w.done:
+                        w.closed = True   # orderly exit, not a death
+                        drop_conn(w)
+                    else:
+                        on_death(w)
+
+            if t_go is None and hellos == cfg.n:
+                t_go = time.monotonic()
+                t_go_epoch = time.time()
+                deadline = t_go + cfg.timeout_s
+                broadcast({"t": "go"})
+
+            # planned fault injection (only before the victim reports done)
+            if t_go is not None:
+                for w in workers:
+                    if (w.killed_at is not None or w.dead or w.done
+                            or (w.kill_at is None and w.kill_units is None)):
+                        continue
+                    due = (w.kill_at is not None
+                           and time.monotonic() - t_go >= w.kill_at)
+                    if not due and w.kill_units is not None:
+                        doc = read_spool(spool_path(run_dir, w.pid))
+                        due = (doc is not None
+                               and doc["processed"] >= w.kill_units)
+                    if due:
+                        w.killed_at = time.monotonic() - t_go
+                        try:
+                            os.kill(w.popen.pid, signal.SIGKILL)
+                        except OSError:
+                            pass
+
+            for w in workers:
+                if (not w.dead and not w.closed
+                        and w.popen.poll() is not None):
+                    # child exited; drain whatever it flushed before dying
+                    if w.conn is not None:
+                        handle_frames(w)
+                    if shutdown_sent and w.done:
+                        w.closed = True
+                        drop_conn(w)
+                    else:
+                        on_death(w)
+
+            alive = [w for w in workers if not w.dead]
+            if not alive:
+                raise LiveRuntimeError(
+                    f"all {cfg.n} workers died; logs in {run_dir}")
+            if (not shutdown_sent and t_go is not None
+                    and all(w.done for w in alive)):
+                shutdown_sent = True
+                broadcast({"t": "shutdown"})
+            if shutdown_sent and all(w.popen.poll() is not None
+                                     for w in alive):
+                for w in alive:   # catch final frames still buffered
+                    if not w.closed and w.conn is not None:
+                        handle_frames(w)
+                        drop_conn(w)
+                break
+    except LiveAborted:
+        broadcast({"t": "shutdown", "abort": True})
+        for w in workers:
+            if w.conn is not None:
+                w.conn.flush()
+        _reap(workers)
+        raise
+    finally:
+        _reap(workers)
+        for w in workers:
+            if w.conn is not None:
+                w.conn.close()
+        for sock, conn in by_conn.items():
+            conn.close()
+        sel.close()
+        listener.close()
+        unlink_quietly(unix_path)
+        for signum, handler in restore:
+            signal.signal(signum, handler)
+
+    killed = tuple(sorted(w.pid for w in workers if w.killed_at is not None))
+    for w in workers:
+        code = w.popen.returncode
+        if w.killed_at is None and code != 0:
+            raise LiveRuntimeError(
+                f"worker {w.pid} exited with {code}; "
+                f"see {run_dir}/worker_{w.pid}.log")
+        if not w.dead and w.pid not in reports:
+            raise LiveRuntimeError(f"worker {w.pid} never reported done")
+
+    return _assemble(cfg, run_dir, workers, reports, killed,
+                     t_go_epoch if t_go_epoch is not None else time.time(),
+                     time.monotonic() - t_start)
+
+
+def _reap(workers: list[_Worker]) -> None:
+    """Terminate-then-kill every still-running child; always reap."""
+    for sig, grace in ((signal.SIGTERM, _GRACE_S), (signal.SIGKILL, None)):
+        alive = [w for w in workers if w.popen.poll() is None]
+        if not alive:
+            return
+        for w in alive:
+            try:
+                w.popen.send_signal(sig)
+            except OSError:
+                pass
+        end = time.monotonic() + (grace or _GRACE_S)
+        for w in alive:
+            try:
+                w.popen.wait(timeout=max(0.0, end - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                pass
+    for w in workers:   # pragma: no cover - SIGKILL cannot be survived
+        if w.popen.poll() is None:
+            w.popen.wait()
+
+
+# -- result assembly ---------------------------------------------------------
+
+def _absorb_snapshot(reg: MetricsRegistry, snap: dict) -> None:
+    """Merge one worker's metrics snapshot into the run registry."""
+    for name, s in snap.items():
+        kind = s.get("type")
+        if kind == "counter":
+            reg.counter(name).inc(s["value"])
+        elif kind == "gauge":
+            g = reg.gauge(name)
+            g.set(max(g.value, s["value"]))
+        elif kind == "histogram":
+            edges = [b["le"] for b in s["buckets"]]
+            h = reg.histogram(name, edges=edges)
+            for i, b in enumerate(s["buckets"]):
+                h.counts[i] += b["count"]
+            h.counts[-1] += s["overflow"]
+            h.count += s["count"]
+            h.total += s["total"]
+            for attr, pick in (("min", min), ("max", max)):
+                v = s[attr]
+                if v is not None:
+                    cur = getattr(h, attr)
+                    setattr(h, attr, v if cur is None else pick(cur, v))
+
+
+def _read_shard_samples(path: str) -> tuple[dict, list]:
+    """Leniently read one worker's trace shard.
+
+    A killed worker's shard has no footer (the writer died mid-run);
+    that is expected, so this reader takes every well-formed sample line
+    and ignores a torn tail instead of refusing the file.
+    """
+    meta: dict = {}
+    samples: list = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    break   # torn tail of a SIGKILLed writer
+                if rec.get("record") == "header":
+                    meta = rec.get("meta", {})
+                elif rec.get("record") == "sample":
+                    samples.append((rec["t"], rec["pid"], rec["kind"],
+                                    rec["v"]))
+    except OSError:
+        pass
+    return meta, samples
+
+
+def _merge_traces(cfg: LiveConfig, run_dir: str, workers: list[_Worker],
+                  reports: dict, t_go_epoch: float) -> Optional[str]:
+    if not cfg.trace:
+        return None
+    t0s: dict[int, float] = {}
+    shards: dict[int, list] = {}
+    for w in workers:
+        meta, samples = _read_shard_samples(
+            os.path.join(run_dir, f"trace_{w.pid}.ndjson"))
+        shards[w.pid] = samples
+        t0s[w.pid] = float(meta.get("t0_epoch", t_go_epoch))
+    base = min(t0s.values(), default=t_go_epoch)
+    merged = []
+    for pid, samples in shards.items():
+        off = t0s[pid] - base
+        merged.extend((t + off, pid, kind, v) for t, _p, kind, v in samples)
+    for w in workers:
+        if w.killed_at is not None:
+            merged.append((w.killed_at + (t_go_epoch - base), w.pid,
+                           CRASH, 0.0))
+    merged.sort(key=lambda s: (s[0], s[1]))
+    out = os.path.join(run_dir, "trace.ndjson")
+    with TraceWriter(out, meta={"live": True, "protocol": cfg.protocol,
+                                "n": cfg.n, "seed": cfg.seed,
+                                "app": cfg.app, "merged_shards": cfg.n,
+                                "killed": sorted(
+                                    w.pid for w in workers
+                                    if w.killed_at is not None)}) as tw:
+        for t, pid, kind, v in merged:
+            tw.record(t, pid, kind, v)
+    return out
+
+
+def _assemble(cfg: LiveConfig, run_dir: str, workers: list[_Worker],
+              reports: dict, killed: tuple[int, ...], t_go_epoch: float,
+              wall_s: float) -> LiveResult:
+    spools = {}
+    for w in workers:
+        if w.dead:
+            doc = read_spool(spool_path(run_dir, w.pid))
+            if doc is not None:
+                spools[w.pid] = doc
+
+    stats = RunStats.create(cfg.n)
+    t0s = {pid: float(rep.get("t0", t_go_epoch))
+           for pid, rep in reports.items() if "t0" in rep}
+    base = min(t0s.values(), default=t_go_epoch)
+    makespan = 0.0
+    work_done = 0.0
+    optimum = None
+    for pid, rep in reports.items():
+        if "stats" not in rep:
+            continue
+        ps = stats_from_wire(rep["stats"], pid)
+        off = t0s.get(pid, t_go_epoch) - base
+        if ps.finish_time > 0.0:
+            ps.finish_time += off
+        makespan = max(makespan, ps.finish_time)
+        work_done = max(work_done, rep.get("work_done", 0.0) + off)
+        stats.per_process[pid] = ps
+        opt = rep.get("optimum")
+        if opt is not None and (optimum is None or opt < optimum):
+            optimum = opt
+    for w in workers:
+        if not w.dead:
+            continue
+        ps = stats.per_process[w.pid]
+        ps.crashes = 1
+        if w.killed_at is not None:
+            ps.crash_time = w.killed_at + (t_go_epoch - base)
+        doc = spools.get(w.pid)
+        if doc is not None:
+            # the dead worker's processed units count, exactly as the
+            # simulator's stats keep counting up to the crash instant
+            ps.work_units = doc["processed"]
+    stats.makespan = makespan if makespan > 0.0 else wall_s
+    stats.work_done_time = work_done
+    stats.seal()
+
+    metrics = MetricsRegistry()
+    for rep in reports.values():
+        if "metrics" in rep:
+            _absorb_snapshot(metrics, rep["metrics"])
+    metrics.gauge("engine.makespan_s").set(stats.makespan)
+    if killed:
+        metrics.counter("engine.crashes").inc(len(killed))
+
+    conserved = None
+    if cfg.fault_tolerance:
+        from .worker import build_app
+        app, _label = build_app(cfg.app)
+        conserved = conserved_units_live(app, reports, spools)
+
+    lost, dup, rexmit, crashes, repairs = stats.fault_totals()
+    result = ExperimentResult(
+        protocol=cfg.protocol, n=cfg.n, makespan=stats.makespan,
+        work_done_time=stats.work_done_time,
+        total_units=stats.total_work_units, total_msgs=stats.total_msgs,
+        total_steals=stats.total_steals, msgs_by_pid=stats.msgs_by_pid(),
+        optimum=optimum, events=0, msgs_lost=lost, msgs_duplicated=dup,
+        retransmits=rexmit, crashes=crashes, repairs=repairs)
+
+    trace_path = _merge_traces(cfg, run_dir, workers, reports, t_go_epoch)
+    return LiveResult(result=result, stats=stats, metrics=metrics,
+                      conserved=conserved, killed=killed, run_dir=run_dir,
+                      trace_path=trace_path, reports=reports, spools=spools,
+                      wall_s=wall_s)
+
+
+__all__ = ["LiveAborted", "LiveConfig", "LiveResult", "LiveRuntimeError",
+           "run_live"]

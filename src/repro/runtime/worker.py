@@ -1,0 +1,244 @@
+"""Live worker entry point: ``python -m repro.runtime.worker '<json>'``.
+
+One OS process = one protocol worker.  The supervisor passes the full
+configuration as a single JSON argument; the worker connects back,
+handshakes (``hello`` / ``go``), builds its protocol object through the
+same :func:`repro.experiments.runner.worker_factory` the simulator uses,
+and then runs a selector reactor until the supervisor says ``shutdown``:
+
+1. wait on the socket until the next timer deadline (or a short idle tick);
+2. absorb inbound frames — routed protocol messages into
+   ``proc._arrive``, ``dead`` announcements into the failure detector;
+3. fire due timers (compute quanta, retransmits, termination waves ride
+   here);
+4. **fault mode:** commit the write-ahead spool — *before* step 5, so no
+   byte ever leaves this process without the state that explains it
+   already being on disk (see :mod:`repro.runtime.spool`);
+5. flush the outbound buffer;
+6. once the protocol reports termination, send the ``done`` report (and
+   keep answering late messages until ``shutdown`` arrives).
+
+The worker ignores SIGINT (the supervisor coordinates interactive aborts)
+and treats SIGTERM or supervisor EOF as an orderly exit, so no run leaves
+orphans behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import time
+from selectors import EVENT_READ, EVENT_WRITE, DefaultSelector
+
+from ..apps.base import Application
+from ..core.config import OCLBConfig
+from ..experiments.runner import RunConfig, worker_factory
+from ..obs.export import TraceWriter
+from ..obs.registry import MetricsRegistry
+from .codec import message_from_frame, stats_to_wire
+from .env import LiveEnv
+from .spool import build_spool_doc, spool_path, write_spool
+from .transport import FramedConnection, connect_endpoint
+
+#: Selector timeout when no timer is pending (keeps the watchdog and
+#: supervisor-EOF checks responsive).
+IDLE_TICK_S = 0.25
+
+#: Live-scale OCLB pacing: wall milliseconds, not the simulator's virtual
+#: defaults — loopback RTTs are tens of microseconds, but real scheduling
+#: jitter is milliseconds, so retries back off further than in the sim.
+LIVE_WAVE_RETRY_S = 0.02
+LIVE_PROBE_RETRY_S = 0.005
+LIVE_ACK_TIMEOUT_S = 0.02
+
+
+def build_app(spec: dict) -> tuple[Application, str]:
+    """Construct the application from its JSON coordinates."""
+    if spec["kind"] == "uts":
+        from ..apps.uts_app import UTS_UNIT_COST, UTSApplication
+        from ..uts.params import get_preset
+        preset = get_preset(spec["preset"])
+        app = UTSApplication(preset.params,
+                             unit_cost=spec.get("unit_cost", UTS_UNIT_COST))
+        return app, f"uts/{spec['preset']}"
+    if spec["kind"] == "bnb":
+        from ..experiments.specs import BnBSpec
+        bs = BnBSpec(spec["index"], n_jobs=spec["jobs"],
+                     n_machines=spec["machines"],
+                     bound=spec.get("bound", "lb1"),
+                     warm_start=spec.get("warm_start", True))
+        return bs.build(), (f"bnb/ta{20 + spec['index']}"
+                            f"@{spec['jobs']}x{spec['machines']}")
+    raise SystemExit(f"unknown app kind {spec.get('kind')!r}")
+
+
+def build_run_config(cfg: dict) -> RunConfig:
+    """The worker-side :class:`RunConfig` (shared with the simulator)."""
+    run = cfg["run"]
+    oclb = OCLBConfig(
+        sharing=run.get("sharing", "proportional"),
+        wave_retry=run.get("wave_retry", LIVE_WAVE_RETRY_S),
+        probe_retry=run.get("probe_retry", LIVE_PROBE_RETRY_S))
+    return RunConfig(protocol=run["protocol"], n=run["n"],
+                     dmax=run.get("dmax", 10),
+                     sharing=run.get("sharing", "proportional"),
+                     quantum=run.get("quantum", 64), seed=run.get("seed", 0),
+                     oclb=oclb,
+                     ack_timeout=run.get("ack_timeout", LIVE_ACK_TIMEOUT_S))
+
+
+class _Exit(Exception):
+    """Internal: unwind the reactor (code carried to sys.exit)."""
+
+    def __init__(self, code: int) -> None:
+        self.code = code
+
+
+def _run(cfg: dict) -> int:
+    pid = cfg["pid"]
+    fault_mode = bool(cfg.get("fault_mode"))
+    run_dir = cfg.get("run_dir")
+    deadline = time.monotonic() + float(cfg.get("timeout_s", 120.0))
+
+    sock = connect_endpoint(cfg["endpoint"])
+    conn = FramedConnection(sock)
+    conn.send_frame({"t": "hello", "pid": pid, "ospid": os.getpid()})
+    conn.flush()
+
+    # blocking handshake: wait for "go".  A peer that handshook earlier
+    # may already be running and sending us protocol frames — they ride
+    # in the same stream, so buffer them for delivery after start-up.
+    sel = DefaultSelector()
+    sel.register(conn.sock, EVENT_READ)
+    started = False
+    early: list[dict] = []
+    while not started:
+        if time.monotonic() > deadline:
+            return 3
+        if sel.select(timeout=0.5):
+            for frame in conn.receive():
+                if frame.get("t") == "go":
+                    started = True
+                elif frame.get("t") == "shutdown":
+                    return 0
+                else:
+                    early.append(frame)
+        if conn.eof:
+            return 1
+    t0_epoch = time.time()
+
+    app, app_label = build_app(cfg["app"])
+    rcfg = build_run_config(cfg)
+    proc = worker_factory(rcfg, app)(pid)
+    metrics = MetricsRegistry()
+    env = LiveEnv(pid, rcfg.n, conn, seed=rcfg.seed, fault_mode=fault_mode,
+                  run_dir=run_dir, metrics=metrics,
+                  debug=bool(cfg.get("debug")))
+    env.attach(proc)
+
+    tracer = None
+    if cfg.get("trace") and run_dir:
+        tracer = TraceWriter(os.path.join(run_dir, f"trace_{pid}.ndjson"),
+                            meta={"pid": pid, "t0_epoch": t0_epoch,
+                                  "protocol": rcfg.protocol, "n": rcfg.n,
+                                  "app": app_label, "live": True})
+        proc.tracer = tracer
+
+    my_spool = spool_path(run_dir, pid) if (fault_mode and run_dir) else None
+
+    def commit_spool() -> None:
+        if my_spool is not None:
+            write_spool(my_spool, build_spool_doc(proc))
+
+    def final_report(kind: str) -> dict:
+        rep = {"t": kind, "pid": pid}
+        if fault_mode:
+            ch = proc._reliable
+            rep["recv_log"] = ({str(s): sorted(q)
+                                for s, q in ch._seen.items()}
+                               if ch is not None else {})
+            from .codec import to_wire
+            rep["crash_dropped"] = [to_wire(p) for p in proc.crash_dropped]
+        return rep
+
+    commit_spool()   # a kill before the first quantum must find a spool
+    proc.start()
+    for frame in early:   # frames that raced our handshake
+        if frame.get("t") == "msg":
+            env.deliver(message_from_frame(frame))
+        elif frame.get("t") == "dead":
+            env.mark_dead(frame["pid"])
+
+    done_sent = False
+    try:
+        while True:
+            if time.monotonic() > deadline:
+                raise _Exit(3)
+            nxt = env.queue.next_deadline()
+            timeout = (IDLE_TICK_S if nxt is None
+                       else min(IDLE_TICK_S, max(0.0, nxt - env.now)))
+            events = EVENT_READ | (EVENT_WRITE if conn.wants_write else 0)
+            sel.modify(conn.sock, events)
+            sel.select(timeout=timeout)
+
+            for frame in conn.receive():
+                t = frame.get("t")
+                if t == "msg":
+                    env.deliver(message_from_frame(frame))
+                elif t == "dead":
+                    env.mark_dead(frame["pid"])
+                elif t == "shutdown":
+                    if fault_mode and not frame.get("abort"):
+                        conn.send_frame(final_report("bye"))
+                    commit_spool()
+                    flush_until = time.monotonic() + 5.0
+                    while (not conn.flush()
+                           and time.monotonic() < flush_until):
+                        time.sleep(0.005)
+                    raise _Exit(0)
+            if conn.eof:
+                raise _Exit(1)   # supervisor vanished: don't linger
+
+            env.queue.fire_due()
+
+            if proc.terminated and not done_sent:
+                done_sent = True
+                ps = env.stats.per_process[pid]
+                rep = final_report("done")
+                rep.update({
+                    "t0": t0_epoch,
+                    "stats": stats_to_wire(ps),
+                    "work_done": env.stats.work_done_time,
+                    "optimum": (app.shared_value(proc.shared)
+                                if proc.shared is not None else None),
+                    "metrics": metrics.snapshot(),
+                })
+                conn.send_frame(rep)
+
+            # write-ahead: state hits the disk before the bytes it
+            # explains hit the wire
+            commit_spool()
+            conn.flush()
+    except _Exit as ex:
+        return ex.code
+    finally:
+        if tracer is not None:
+            tracer.close()
+        conn.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.runtime.worker '<json config>'",
+              file=sys.stderr)
+        return 2
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, lambda *_: sys.exit(0))
+    return _run(json.loads(argv[0]))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

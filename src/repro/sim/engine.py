@@ -38,7 +38,20 @@ class Simulator:
     (and the deadlock report built from it) names what is pending. Off by
     default — tag strings are pure allocation overhead on the per-message
     hot path, so none are built unless the flag is set.
+
+    The class doubles as the reference *execution environment*: protocol
+    code only ever touches ``queue.now``/``queue.push`` (clock + timers),
+    ``transmit`` (transport), ``network.handler_cost``, ``stats``,
+    ``metrics``, ``debug``, ``seed`` and the fault surface (``faults``,
+    ``is_crashed``, ``peer_logged``).  ``repro.runtime.env.LiveEnv``
+    implements the same surface over wall clocks and sockets, which is how
+    the protocols run unmodified on real processes (docs/runtime.md).
     """
+
+    #: False: virtual time, priced occupancy. The live runtime's
+    #: environment sets True, switching the worker's quantum accounting to
+    #: measured wall time (the only protocol-visible difference).
+    live = False
 
     def __init__(self, network: Optional[NetworkModel] = None, seed: int = 0,
                  auto_place: bool = True, debug: bool = False,
@@ -206,6 +219,18 @@ class Simulator:
     def is_crashed(self, pid: int) -> bool:
         """Ground truth used by the (perfect) failure detector model."""
         return self.faults is not None and pid in self.faults.crashed
+
+    def peer_logged(self, dead_pid: int, src_pid: int, seq: int) -> bool:
+        """Whether crashed ``dead_pid`` logged transfer ``seq`` from
+        ``src_pid`` before dying.
+
+        The dead peer's reliable-channel dedup set stands in for the
+        write-ahead receive log a fault-tolerant runtime keeps on stable
+        storage; reading it post-mortem is the modelled "recovery from the
+        log" (the live runtime reads an actual on-disk spool here).
+        """
+        ch = getattr(self.processes[dead_pid], "_reliable", None)
+        return ch is not None and ch.was_delivered(src_pid, seq)
 
     def _crash_process(self, pid: int) -> None:
         """Crash-stop ``pid``: halt execution, drop state, never recover."""

@@ -1,0 +1,130 @@
+"""Framed socket transport: buffering, EOF detection, listener fallback."""
+
+import socket
+
+import pytest
+
+from repro.runtime.codec import WireError
+from repro.runtime.transport import (FramedConnection, connect_endpoint,
+                                     open_listener, unlink_quietly)
+
+
+def _pair():
+    a, b = socket.socketpair()
+    return FramedConnection(a), FramedConnection(b)
+
+
+def test_send_flush_receive_roundtrip():
+    a, b = _pair()
+    try:
+        frames = [{"i": i, "pad": "x" * i} for i in range(20)]
+        for f in frames:
+            a.send_frame(f)
+        assert a.wants_write
+        while not a.flush():
+            pass
+        assert not a.wants_write
+        got = []
+        while len(got) < len(frames):
+            got.extend(b.receive())
+        assert got == frames
+    finally:
+        a.close()
+        b.close()
+
+
+def test_receive_sets_eof_on_peer_close():
+    a, b = _pair()
+    try:
+        a.send_frame({"last": 1})
+        a.flush()
+        a.close()
+        frames = b.receive()
+        assert frames == [{"last": 1}]
+        assert b.eof
+    finally:
+        b.close()
+
+
+def test_flush_to_closed_peer_drops_backlog():
+    a, b = _pair()
+    b.close()
+    try:
+        a.send_frame({"x": "y" * 100000})
+        # may need two flushes: the first can hit the buffer, the second
+        # the reset; either way the backlog clears instead of leaking
+        a.flush()
+        a.flush()
+        assert not a.wants_write
+    finally:
+        a.close()
+
+
+def test_tcp_listener_falls_back_to_ephemeral_port():
+    sock1, ep1 = open_listener("tcp", port=0)
+    try:
+        busy = ep1["port"]
+        sock2, ep2 = open_listener("tcp", port=busy)
+        try:
+            assert ep2["kind"] == "tcp"
+            assert ep2["port"] != busy          # fell back, did not fail
+        finally:
+            sock2.close()
+    finally:
+        sock1.close()
+
+
+def test_tcp_connect_roundtrip():
+    listener, ep = open_listener("tcp", port=0)
+    try:
+        client = connect_endpoint(ep)
+        server, _ = listener.accept()
+        a, b = FramedConnection(client), FramedConnection(server)
+        try:
+            a.send_frame({"hello": 1})
+            while not a.flush():
+                pass
+            got = []
+            while not got:
+                got.extend(b.receive())
+            assert got == [{"hello": 1}]
+        finally:
+            a.close()
+            b.close()
+    finally:
+        listener.close()
+
+
+def test_unix_listener_roundtrip(tmp_path):
+    path = str(tmp_path / "s.sock")
+    listener, ep = open_listener("unix", path=path)
+    try:
+        assert ep == {"kind": "unix", "path": path}
+        client = connect_endpoint(ep)
+        server, _ = listener.accept()
+        a, b = FramedConnection(client), FramedConnection(server)
+        try:
+            a.send_frame({"via": "unix"})
+            while not a.flush():
+                pass
+            got = []
+            while not got:
+                got.extend(b.receive())
+            assert got == [{"via": "unix"}]
+        finally:
+            a.close()
+            b.close()
+    finally:
+        listener.close()
+        unlink_quietly(path)
+        unlink_quietly(path)                     # idempotent
+
+
+def test_unix_listener_requires_path():
+    with pytest.raises(WireError):
+        open_listener("unix")
+
+
+def test_unknown_transport_rejected():
+    with pytest.raises(WireError):
+        open_listener("carrier-pigeon")
