@@ -50,6 +50,14 @@ TOLERANCES = {
     "live_uts_units_per_s_n2": 0.5,
     "live_uts_units_per_s_n4": 0.5,
     "sim_uts_units_per_wall_s_n4": 0.4,
+    # fleet-scale engine rates (BENCH_scale.json baseline): whole-run
+    # wall clocks of 2000-process simulations — long single runs, not
+    # best-of-N microbenchmarks, so machine-load noise is large even
+    # after calibration; the gate is for collapses (a disabled fast
+    # path halves eq/s), not percent-level drift
+    "scale_td_synth_eq_per_s": 0.4,
+    "scale_td_synth_unfused_events_per_s": 0.4,
+    "scale_td_uts_eq_per_s": 0.5,
 }
 DEFAULT_TOLERANCE = 0.25
 

@@ -31,6 +31,14 @@ and writes ``BENCH_runtime.json``. The regression gate compares a fresh
 real sockets and scheduler jitter move these numbers far more than the
 in-process kernels.
 
+The ``scale`` mode (``python benchmarks/record.py scale``) records the
+macro-event engine: fused vs unfused events-equivalent throughput on a
+fixed CI-sized fleet workload (gated), plus — without ``--quick`` — the
+headline 10,000-node {TD, BTD, RWS} x {UTS, synthetic} sweep as context.
+Writes ``BENCH_scale.json``; the CI ``scale-smoke`` job re-records with
+``--quick`` and gates it via ``check_regression.py --baseline
+benchmarks/BENCH_scale.json``.
+
 ``--quick`` shrinks the kernel budgets (CI-sized: the regression gate in
 ``check_regression.py`` runs ``kernels --quick`` on every PR); ``--out``
 redirects the JSON so a fresh recording can be compared against the
@@ -345,6 +353,68 @@ def live_backend(quick=False, out=None):
 BASELINE_LIVE_NODES = 21_483
 
 
+def scale_bench(quick=False, out=None):
+    """Macro-event engine at fleet size (``BENCH_scale.json``).
+
+    The *gated* metrics are recorded at a fixed CI-sized workload
+    (n=2000) in both modes, so a ``--quick`` re-recording is
+    apples-to-apples with the committed baseline; the committed full
+    recording additionally embeds the headline 10,000-node sweep
+    ({TD, BTD, RWS} x {UTS, synthetic}) with its unfused twin and
+    engine-speedup figure as context. Work conservation is asserted on
+    every cell by :func:`repro.experiments.scale.scale_run`; the fused
+    ratio on the gate cell is asserted here (a broken fusion gate would
+    otherwise pass the gate as a mere slowdown).
+    """
+    from repro.experiments.scale import scale_run, scale_sweep, render_sweep
+
+    _eq_rate, calib_rate = gated_rates()
+    gate_kw = dict(n=2000, quantum=16, seed=42, latency=1e-2,
+                   units_per_node=5_000, unit_cost=1e-6, preset="bin_small")
+
+    fused = scale_run("TD", "synthetic", **gate_kw)
+    unfused = scale_run("TD", "synthetic", fuse=False, **gate_kw)
+    uts = scale_run("TD", "uts", **gate_kw)
+    assert fused.fused_ratio > 0.5, (
+        f"fusion barely engaged on the gate workload "
+        f"(ratio {fused.fused_ratio:.3f}) — fast-path gate broken?")
+    assert uts.macro_events > 0, "UTS gate cell never fused"
+
+    after = {
+        "scale_td_synth_eq_per_s": round(fused.eq_per_s),
+        "scale_td_synth_unfused_events_per_s": round(unfused.events_per_s),
+        "scale_td_uts_eq_per_s": round(uts.eq_per_s),
+    }
+    report = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cores": os.cpu_count(),
+        "quick": quick,
+        "calibration_ops_per_s": round(calib_rate),
+        # context, not gated
+        "gate_workload": dict(gate_kw),
+        "gate_fused_ratio": round(fused.fused_ratio, 4),
+        "gate_fused_speedup": round(fused.eq_per_s / unfused.events_per_s, 2),
+        "gate_makespan_match": fused.makespan == unfused.makespan,
+        "metrics": {name: {"after": value} for name, value in after.items()},
+    }
+    for name, value in after.items():
+        print(f"{name:38s} {value:>12,}")
+    print(f"gate fused ratio {report['gate_fused_ratio']:.3f}, "
+          f"speedup {report['gate_fused_speedup']:.2f}x")
+
+    if not quick:
+        doc = scale_sweep(10_000, progress=lambda m: print(f"  {m}",
+                                                           flush=True))
+        report["sweep_10k"] = doc
+        print(render_sweep(doc))
+
+    out = (pathlib.Path(out) if out
+           else pathlib.Path(__file__).with_name("BENCH_scale.json"))
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
 def kernels(quick=False, out=None):
     eq_rate, calib_rate = gated_rates()
     if quick:
@@ -395,7 +465,8 @@ def main(argv=None):
     import argparse
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("mode", nargs="?", default="kernels",
-                        choices=("kernels", "harness", "faults", "live"))
+                        choices=("kernels", "harness", "faults", "live",
+                                 "scale"))
     parser.add_argument("--jobs", type=int, default=0,
                         help="pool size for harness mode (0 = all cores)")
     parser.add_argument("--quick", action="store_true",
@@ -410,6 +481,8 @@ def main(argv=None):
         faults()
     elif args.mode == "live":
         live_backend(quick=args.quick, out=args.out)
+    elif args.mode == "scale":
+        scale_bench(quick=args.quick, out=args.out)
     else:
         kernels(quick=args.quick, out=args.out)
 

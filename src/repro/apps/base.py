@@ -50,6 +50,31 @@ class Application(ABC):
                 shared: Any) -> ProcessOutcome:
         """Process up to ``max_units`` of ``work`` (mutating it)."""
 
+    def process_quanta(self, work: WorkItem, max_units: int, shared: Any,
+                       limit: int) -> list[int]:
+        """Process up to ``limit`` consecutive quanta; the macro-event path.
+
+        Returns the per-quantum unit counts, stopping early when the work
+        drains (or a quantum yields nothing). The default runs
+        :meth:`process` in a loop, so the work container sees *exactly* the
+        same call sequence as ``limit`` separate quanta — the
+        bit-reproducibility contract of quantum fusion. Applications with
+        closed-form batch processing (the synthetic workload) override it;
+        overrides must preserve that per-quantum equivalence.
+
+        Only called with ``shared is None`` (no shared knowledge can
+        improve mid-batch), and only for applications whose
+        :meth:`process` returns ``units > 0`` whenever the work is
+        non-empty.
+        """
+        out: list[int] = []
+        while len(out) < limit and not work.is_empty():
+            o = self.process(work, max_units, shared)
+            if o.units <= 0:
+                break
+            out.append(o.units)
+        return out
+
     def make_shared(self) -> Optional[Any]:
         """Fresh per-worker shared-knowledge state (None: nothing to share)."""
         return None

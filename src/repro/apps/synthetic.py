@@ -71,5 +71,23 @@ class SyntheticApplication(Application):
                 shared: Any) -> ProcessOutcome:
         return ProcessOutcome(units=work.take(max_units))
 
+    def process_quanta(self, work: SyntheticWork, max_units: int,
+                       shared: Any, limit: int) -> list[int]:
+        # Closed form of `limit` successive take(max_units) calls: full
+        # quanta while >= max_units remain, then one partial remainder —
+        # the exact sequence the default per-quantum loop would produce,
+        # without touching the container per quantum.
+        have = work.units
+        if have <= 0 or limit <= 0 or max_units <= 0:
+            return []
+        full = min(limit, have // max_units)
+        out = [max_units] * full
+        taken = full * max_units
+        if full < limit and have > taken:
+            out.append(have - taken)
+            taken = have
+        work.units = have - taken
+        return out
+
 
 __all__ = ["SyntheticWork", "SyntheticApplication"]

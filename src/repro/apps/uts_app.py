@@ -32,5 +32,21 @@ class UTSApplication(Application):
                 shared: Any) -> ProcessOutcome:
         return ProcessOutcome(units=work.process(max_units))
 
+    def process_quanta(self, work: UTSWork, max_units: int, shared: Any,
+                       limit: int) -> list[int]:
+        # Chunked exactly like `limit` separate process() calls — UTS
+        # expansion pops off the top and pushes children mid-sequence, so
+        # one big batch would visit different nodes than k quanta; the
+        # per-quantum loop is the bit-identical (and still vectorised
+        # inside work.process) form. Skips the ProcessOutcome boxing of
+        # the default implementation.
+        out: list[int] = []
+        while len(out) < limit:
+            u = work.process(max_units)
+            if u <= 0:
+                break
+            out.append(u)
+        return out
+
 
 __all__ = ["UTSApplication", "UTS_UNIT_COST"]

@@ -103,6 +103,11 @@ class RWSWorker(WorkerProcess):
         self.steal_outstanding = False
         self._steal_target = -1
 
+    def quantum_boundary_quiet(self) -> bool:
+        # RWS does nothing at quantum boundaries (victims answer STEAL
+        # messages, which cannot arrive mid-fusion by construction)
+        return True
+
     # -- crash repair (only reached when fault injection is active) --------------
 
     def static_parent(self, pid: int) -> int:

@@ -301,6 +301,12 @@ class OverlayWorker(WorkerProcess):
         if self.pending:
             self._serve_pending()
 
+    def quantum_boundary_quiet(self) -> bool:
+        # no queued requesters, nothing to serve at the boundary; `pending`
+        # only ever grows inside message handlers, so this cannot flip
+        # during a fused block
+        return not self.pending
+
     # -- serving (paper §II-B2 sharing fractions) -------------------------------------
 
     def _share_context(self, entry: _Pending) -> ShareContext:

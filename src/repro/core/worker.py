@@ -31,6 +31,9 @@ clean runs (``sim.faults is None`` gates every hook):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import reduce
+from itertools import accumulate
+from operator import add
 from typing import Any, Optional
 
 from ..apps.base import Application
@@ -78,6 +81,11 @@ class WorkerProcess(SimProcess):
         self.work: WorkItem = (app.initial_work() if has_initial_work
                                else app.empty_work())
         self.shared = app.make_shared()
+        # Quantum fusion is only sound without shared knowledge: a BOUND
+        # improvement arriving between quanta must be protocol-visible at
+        # the exact quantum boundary, which fusing would skip. UTS and the
+        # synthetic workload share nothing; B&B never fuses.
+        self._fusible = self.shared is None
         self.terminated = False
         #: optional repro.sim.trace.Tracer; set by the harness, zero cost
         #: when absent
@@ -114,6 +122,21 @@ class WorkerProcess(SimProcess):
 
     def on_quantum_done(self, units: int) -> None:
         """After each compute quantum (serve queued requesters, etc.)."""
+
+    def quantum_boundary_quiet(self) -> bool:
+        """True iff :meth:`on_quantum_done` is a no-op in the current state
+        — the protocol-side precondition of quantum fusion.
+
+        The macro-event fast path checks this once before fusing a run of
+        quanta; interior boundaries then skip ``on_quantum_done`` entirely.
+        That is sound only when the answer cannot change *during* the
+        fused block: the state it depends on (queued requesters, pending
+        lifelines, ...) must only ever mutate inside message/timer
+        handlers, which provably cannot run mid-fusion. Protocols that
+        cannot promise this keep the conservative default (False = never
+        fuse).
+        """
+        return False
 
     def gossip_targets(self) -> list[int]:
         """Where to diffuse shared-knowledge improvements."""
@@ -223,10 +246,161 @@ class WorkerProcess(SimProcess):
         else:
             duration = outcome.units * self.app.unit_cost / self.cfg.speed
             st.busy_time += duration
+            sim = self.sim
+            if (sim._fuse_active and self._fusible
+                    and self.quantum_boundary_quiet()):
+                self._run_fused(outcome.units, outcome.improved, duration)
+                return
         self.occupy(duration,
                     lambda: self._quantum_done(outcome.units,
                                                outcome.improved),
                     tag=f"quantum@{self.pid}" if self.sim.debug else "")
+
+    def _fusion_horizon(self):
+        """Earliest time any *other* event could affect this worker.
+
+        Two sources bound it: (a) events already scheduled *for us* —
+        deliveries, our timers, our crash injection — tracked exactly in
+        the per-process inbound heap; (b) anything a *foreign* event might
+        do. A foreign event firing at time T can only reach us through
+        ``transmit``, which prices at least the network's minimum latency,
+        so nothing it causes lands before ``peek_time() + min_delay``.
+        Quantum starts strictly before the horizon are therefore
+        undisturbed: the worker provably computes through them exactly as
+        the one-event-per-quantum engine would. None = queue empty and no
+        inbound (fuse until the work drains).
+        """
+        sim = self.sim
+        h = sim.queue.peek_time()
+        if h is not None:
+            h += sim._min_net_delay
+        mine = self._inbound_horizon()
+        if mine is not None and (h is None or mine < h):
+            return mine
+        return h
+
+    def _run_fused(self, units: int, improved: bool,
+                   duration: float) -> None:
+        """Macro-event fast path: fuse consecutive quanta into one event.
+
+        The first quantum was already processed and counted (at its start
+        time, like the unfused engine); this extends it with as many
+        further quanta as provably complete before :meth:`_fusion_horizon`,
+        then schedules a *single* engine event at the accumulated boundary.
+        Interior boundaries are replayed eagerly — same ``work_done_time``
+        updates, same QUANTUM trace samples at the same virtual times, and
+        guaranteed-no-op ``on_quantum_done`` calls skipped — while the
+        final boundary runs for real in :meth:`_fused_done`, so messages,
+        timers or a crash landing inside the last quantum's window behave
+        exactly as under the unfused engine. Durations accumulate
+        iteratively (``t = t + d``), reproducing the unfused engine's
+        float arithmetic bit for bit.
+
+        One caveat: the macro event is *pushed* at the block's start,
+        not at the last interior boundary, so if the final boundary
+        lands at the identical float time as a causally unrelated
+        foreign event, the insertion-order tie-break between them can
+        differ from the unfused engine's. Both orders are valid
+        executions of the same timed schedule (conservation and, in
+        practice, makespans are unaffected); runs whose boundaries
+        never collide — all golden/faulted test configurations — are
+        bit-identical. See docs/simulation.md, "Scaling to 10^4 nodes".
+        """
+        sim = self.sim
+        queue = sim.queue
+        t = queue.now + duration
+        horizon = self._fusion_horizon()
+        k = 1
+        if (horizon is None or t < horizon) and not self.work.is_empty():
+            uc = self.app.unit_cost
+            speed = self.cfg.speed
+            full = self.cfg.quantum * uc / speed
+            if full > 0.0:
+                if self.tracer is not None:
+                    from ..sim.trace import QUANTUM
+                rs = sim.stats
+                st = self.stats
+                tracer = self.tracer
+                pid = self.pid
+                work = self.work
+                quantum = self.cfg.quantum
+                process_quanta = self.app.process_quanta
+                # accumulate the hot counters locally (same sequential
+                # additions, written back once — matters for columnar
+                # stats) — nothing else can touch them mid-loop
+                wu = st.work_units
+                bt = st.busy_time
+                wdt = rs.work_done_time
+                while ((horizon is None or t < horizon)
+                       and not work.is_empty()):
+                    if horizon is None:
+                        budget = 16384
+                    else:
+                        # floor, not ceil: the budget only counts quanta
+                        # whose *starts* fit strictly under the horizon
+                        # even if every one runs full length, leaving a
+                        # full quantum of slack against float drift in t;
+                        # the while loop mops up any remainder
+                        budget = int((horizon - t) / full) or 1
+                        if budget > 16384:
+                            budget = 16384
+                    batch = process_quanta(work, quantum, None, budget)
+                    if not batch:
+                        break
+                    if tracer is None:
+                        # C-speed replay: accumulate/reduce apply the
+                        # exact left-to-right float additions the
+                        # unfused engine performs, at ~5x the speed of
+                        # the bytecode loop below
+                        ds = [u * uc / speed for u in batch]
+                        ts = list(accumulate(ds, initial=t))
+                        wu += sum(batch)
+                        bt = reduce(add, ds, bt)
+                        # boundaries replayed at ts[:-1]; t is monotone,
+                        # so the last one is the work_done_time candidate
+                        if ts[-2] > wdt:
+                            wdt = ts[-2]
+                        t = ts[-1]
+                        units = batch[-1]
+                    else:
+                        for u in batch:
+                            # replay the previous quantum's boundary at t
+                            if t > wdt:
+                                wdt = t
+                            tracer.record(t, pid, QUANTUM, units)
+                            # same operand order as the unfused engine:
+                            # (units * unit_cost) / speed, bit for bit
+                            d = u * uc / speed
+                            wu += u
+                            bt += d
+                            t = t + d
+                            units = u
+                    k += len(batch)
+                st.work_units = wu
+                st.busy_time = bt
+                if wdt > rs.work_done_time:
+                    rs.work_done_time = wdt
+                if k > 1:
+                    # interior `improved` flags are meaningless without
+                    # shared knowledge (gossip is a no-op); the final
+                    # boundary reports False like any non-improving quantum
+                    improved = False
+                    rs.macro_events += 1
+                    rs.fused_quanta += k
+        # bypass occupy(): one event at the fused boundary, cancellable by
+        # the crash injector exactly like a plain occupy event
+        self._cpu_busy = True
+        self._occupy_event = queue.push(
+            t, self._fused_done, arg=(units, improved),
+            tag=f"macro@{self.pid}x{k}" if sim.debug else "")
+
+    def _fused_done(self, arg: tuple) -> None:
+        # mirrors SimProcess._occupy_done for the fused boundary
+        units, improved = arg
+        self._occupy_event = None
+        self._cpu_busy = False
+        self._quantum_done(units, improved)
+        self._drain()
 
     def _quantum_done(self, units: int, improved: bool) -> None:
         self.sim.note_work_done()

@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments table1 fig5 --scale default --out results.txt
     python -m repro.experiments report --app uts --preset bin_mini --n 16
     python -m repro.experiments live --n 4 --kill 2@500u --expect-conserved
+    python -m repro.experiments scale --nodes 10000 --json sweep.json
     repro-experiments fig3                      # console script
 
 Subcommands (each has its own ``--help``):
@@ -14,7 +15,9 @@ Subcommands (each has its own ``--help``):
   observability report (:mod:`repro.experiments.runreport`);
 * ``live`` — one *wall-clock multi-process* run over real sockets, same
   report format, with optional fault injection and simulator
-  cross-validation (:mod:`repro.experiments.live`).
+  cross-validation (:mod:`repro.experiments.live`);
+* ``scale`` — the macro-event engine's fleet-scale sweep
+  (:mod:`repro.experiments.scale`).
 """
 
 from __future__ import annotations
@@ -31,6 +34,8 @@ SUBCOMMANDS = {
     "report": "run one instrumented simulation and emit a run report",
     "live": "run the protocols over real OS processes and sockets "
             "(optionally injecting worker kills)",
+    "scale": "fleet-scale sweep of the macro-event engine "
+             "(10^4-node runs on one host)",
 }
 
 
@@ -43,6 +48,9 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "live":
         from .live import live_main
         return live_main(argv[1:])
+    if argv and argv[0] == "scale":
+        from .scale import scale_main
+        return scale_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables/figures of 'Overlay-Centric "

@@ -115,7 +115,7 @@ def cell_key(cfg: RunConfig, spec) -> str:
         spec.cache_key(),
         cfg.protocol, cfg.n, cfg.dmax, cfg.sharing, cfg.quantum, cfg.seed,
         cfg.handler_cost, cfg.jitter, cfg.mw_update_every, cfg.max_events,
-        cfg.speed_spread, cfg.speed_placement,
+        cfg.speed_spread, cfg.speed_placement, cfg.fuse,
         _network_desc(cfg), _oclb_desc(cfg), _faults_desc(cfg),
     )
     return hashlib.sha256(repr(payload).encode()).hexdigest()

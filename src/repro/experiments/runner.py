@@ -71,6 +71,12 @@ class RunConfig:
     #: simulator, wall seconds in the live runtime, which overrides the
     #: default with socket-scale pacing)
     ack_timeout: float = 2e-3
+    #: quantum fusion (macro events): far fewer engine events at scale,
+    #: bit-identical results up to the ordering of exactly-simultaneous
+    #: events (docs/simulation.md, "Scaling to 10^4 nodes"); False
+    #: forces one event per quantum (debugging / the fused-vs-unfused
+    #: comparison itself)
+    fuse: bool = True
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -112,6 +118,10 @@ class ExperimentResult:
     optimum_perm: Optional[tuple] = None
     redundancy: int = 0                # MW: positions explored twice
     events: int = 0
+    #: macro-event fusion counters (0 when fusion never engaged)
+    macro_events: int = 0
+    fused_quanta: int = 0
+    events_equivalent: int = 0         # events an unfused engine would fire
     # fault-injection totals (all 0 in clean runs)
     msgs_lost: int = 0
     msgs_duplicated: int = 0
@@ -215,7 +225,7 @@ def run_instrumented(cfg: RunConfig, app: Application, tracer=None,
     network = cfg.network if cfg.network is not None else grid5000(
         handler_cost=cfg.handler_cost, jitter=cfg.jitter)
     sim = Simulator(network=network, seed=cfg.seed, faults=cfg.faults,
-                    metrics=metrics)
+                    metrics=metrics, fuse=cfg.fuse)
     workers = build_workers(sim, cfg, app)
     if tracer is not None:
         for w in workers:
@@ -251,6 +261,9 @@ def run_instrumented(cfg: RunConfig, app: Application, tracer=None,
         optimum_perm=optimum_perm,
         redundancy=redundancy,
         events=stats.events_fired,
+        macro_events=stats.macro_events,
+        fused_quanta=stats.fused_quanta,
+        events_equivalent=stats.events_equivalent,
         msgs_lost=lost,
         msgs_duplicated=dup,
         retransmits=rexmit,

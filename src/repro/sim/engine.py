@@ -56,7 +56,8 @@ class Simulator:
     def __init__(self, network: Optional[NetworkModel] = None, seed: int = 0,
                  auto_place: bool = True, debug: bool = False,
                  faults: Optional[FaultPlan] = None,
-                 metrics: Optional["MetricsRegistry"] = None) -> None:
+                 metrics: Optional["MetricsRegistry"] = None,
+                 fuse: bool = True) -> None:
         self.network = network if network is not None else uniform_network()
         self.seed = seed
         self.debug = debug
@@ -82,7 +83,20 @@ class Simulator:
         # FIFO per channel: like the TCP streams of the paper's testbed,
         # messages between one (src, dst) pair never overtake each other —
         # a property the pure-tree termination argument relies on.
+        # An entry whose horizon has passed (arrive_at <= now) is inert —
+        # max(now + delay, arrive_at) then equals now + delay — so transmit
+        # sweeps stale entries amortized-O(1) (doubling threshold) to keep
+        # the dict proportional to *in-flight* channels, not the O(n^2)
+        # channels ever used.
         self._fifo: dict[tuple[int, int], float] = {}
+        self._fifo_sweep = 256
+        # Macro-event fusion (see docs/simulation.md and core/worker.py):
+        # the ``fuse`` flag opts in; ``_fuse_active`` is resolved in run()
+        # — fusion stays off under max_time/max_events truncation, where
+        # the cut point depends on the per-event schedule.
+        self._fuse = fuse
+        self._fuse_active = False
+        self._min_net_delay = self.network.min_delay()
 
     # -- construction --------------------------------------------------------
 
@@ -126,6 +140,12 @@ class Simulator:
         src_stats.bytes_sent += msg.size_bytes
         now = self.queue.now
         msg.send_time = now
+        if len(self._fifo) >= self._fifo_sweep:
+            # drop channels whose FIFO horizon already passed (inert; see
+            # the field comment) and re-arm the threshold at 2x the live
+            # size so the sweep stays amortized-O(1) per transmit
+            self._fifo = {c: t for c, t in self._fifo.items() if t > now}
+            self._fifo_sweep = max(256, 2 * len(self._fifo))
         fc = self.faults
         if fc is not None and fc.drops(msg, now):
             src_stats.msgs_lost += 1
@@ -134,6 +154,8 @@ class Simulator:
         chan = (msg.src, dst)
         arrive_at = max(now + delay, self._fifo.get(chan, 0.0))
         self._fifo[chan] = arrive_at
+        if self._fuse_active:
+            self.processes[dst]._note_inbound(arrive_at)
         self.queue.push(
             arrive_at, self._arrive_fns[dst],
             tag=f"deliver:{msg.kind}->{dst}" if self.debug else "",
@@ -144,6 +166,8 @@ class Simulator:
                                                     msg.size_bytes)
             dup_at = max(now + dup_delay, self._fifo[chan])
             self._fifo[chan] = dup_at
+            if self._fuse_active:
+                self.processes[dst]._note_inbound(dup_at)
             self.queue.push(
                 dup_at, self._arrive_fns[dst],
                 tag=f"dup:{msg.kind}->{dst}" if self.debug else "",
@@ -172,11 +196,18 @@ class Simulator:
         if self._auto_place:
             self.network.place(len(self.processes), seed=self.seed)
         self._running = True
+        # Fusion needs the full event schedule ahead of time to be the
+        # run's own; truncation limits cut at per-event granularity, so a
+        # limited run falls back to the one-event-per-quantum engine.
+        self._fuse_active = (self._fuse and max_time is None
+                             and max_events is None)
         if self.faults is not None:
             for pid, t in self.faults.plan.crashes:
                 if pid >= len(self.processes):
                     raise SimConfigError(
                         f"fault plan crashes unknown process {pid}")
+                if self._fuse_active:
+                    self.processes[pid]._note_inbound(t)
                 self.queue.push(t, self._crash_process,
                                 tag=f"crash:{pid}" if self.debug else "",
                                 arg=pid)
@@ -264,8 +295,7 @@ class Simulator:
                 f"{len(unfinished)} unfinished processes "
                 f"(first: {unfinished[:10]}); pending events: {pending}"
                 + hint)
-        self.stats.makespan = max(
-            (p.finish_time for p in self.stats.per_process), default=self.now)
+        self.stats.makespan = self.stats.max_finish_time(default=self.now)
         if self.stats.makespan == 0.0:
             self.stats.makespan = self.now
         self.stats.seal()

@@ -128,12 +128,32 @@ class EventQueue:
         return None
 
     def peek_time(self) -> Optional[float]:
-        """Time of the next live event without popping it."""
+        """Time of the next live event without popping it.
+
+        Cancelled events at the head of the heap are dropped eagerly so the
+        answer is exact — a guarantee the macro-event fast path relies on:
+        no live event exists anywhere in the queue before the returned
+        time. Ties at the returned time may still be pending; callers that
+        fuse ahead must treat the peeked time itself as unsafe.
+        """
         heap = self._heap
         while heap and heap[0][2].cancelled:
             heapq.heappop(heap)
             self.skipped += 1
         return heap[0][0] if heap else None
+
+    def peek(self) -> Optional[Event]:
+        """The next live event itself, without popping (None when drained).
+
+        Like :meth:`peek_time` this prunes cancelled heads, so the returned
+        event is guaranteed live *at call time*; it may of course be
+        cancelled afterwards through the handle.
+        """
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self.skipped += 1
+        return heap[0][2] if heap else None
 
     def clear(self) -> None:
         """Drop every pending event."""

@@ -115,6 +115,21 @@ class NetworkModel:
 
     # -- pricing -----------------------------------------------------------
 
+    def min_delay(self) -> float:
+        """Lower bound on :meth:`delivery_delay` between two *distinct*
+        processes.
+
+        Jitter and serialisation only ever add to the base latency, so the
+        smaller of the two latency classes bounds every cross-process
+        delivery from below. The macro-event fast path
+        (:mod:`repro.core.worker`) uses this as a network lookahead: an
+        event firing at time T cannot make a message *arrive* at another
+        process before ``T + min_delay()``. Self-sends (src == dst) have
+        zero latency and are excluded — they can only target the sender,
+        whose own pending events are tracked separately.
+        """
+        return min(self.lat_intra, self.lat_inter)
+
     def latency(self, src: int, dst: int) -> float:
         """One-way latency between two placed processes."""
         if src == dst:

@@ -24,6 +24,7 @@ Use :meth:`occupy` to model computation, :meth:`send` to transmit, and
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
@@ -47,6 +48,13 @@ class SimProcess:
         self._cpu_busy = False
         self._crashed = False   # set by the engine's fault layer, only
         self._occupy_event: Optional[Event] = None
+        # Lazy min-heap of fire times of pending events *targeting* this
+        # process (deliveries, timers, crashes). Maintained only while the
+        # engine runs with quantum fusion active; the macro-event fast path
+        # reads it through :meth:`_inbound_horizon`. Entries are never
+        # removed on cancellation — a stale entry can only make the horizon
+        # conservative (less fusion), never unsound.
+        self._inbound: list[float] = []
 
     # -- lifecycle hooks -----------------------------------------------------
 
@@ -94,6 +102,8 @@ class SimProcess:
         """Schedule a zero-cost callback at absolute virtual ``time``."""
         if not tag and self.sim.debug:
             tag = f"timer@{self.pid}"
+        if getattr(self.sim, "_fuse_active", False):
+            self._note_inbound(time)
         if self.sim.faults is not None:
             # route through a guard so timers of a crashed process are inert
             return self.sim.queue.push(time, self._fire_timer, tag=tag,
@@ -135,6 +145,29 @@ class SimProcess:
         self._drain()
 
     # -- engine-facing internals ----------------------------------------------
+
+    def _note_inbound(self, time: float) -> None:
+        """Record that some event targeting this process fires at ``time``.
+
+        Called by the engine (deliveries, crash injections) and by
+        :meth:`call_at` while quantum fusion is active. Kept O(log k) via a
+        plain heap; the fast path only ever needs the minimum.
+        """
+        heapq.heappush(self._inbound, time)
+
+    def _inbound_horizon(self) -> Optional[float]:
+        """Earliest *possibly pending* event targeting this process.
+
+        Prunes entries strictly before ``now`` (those events fired or were
+        skipped already); an entry at exactly ``now`` stays, because an
+        equal-time event may still be pending behind the current one — the
+        conservative answer. Returns None when nothing is pending.
+        """
+        h = self._inbound
+        now = self.sim.queue.now
+        while h and h[0] < now:
+            heapq.heappop(h)
+        return h[0] if h else None
 
     def _arrive(self, msg: Message) -> None:
         """Engine hook: a message reached this node's NIC."""

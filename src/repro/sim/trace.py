@@ -81,16 +81,24 @@ class Tracer:
 
     def work_completed_by(self, fraction_of_units: float,
                           total_units: int) -> Optional[float]:
-        """Time by which the given fraction of all work units was done."""
+        """Time by which the given fraction of all work units was done.
+
+        Scans QUANTUM samples in *time* order, not append order: under
+        quantum fusion a worker appends the interior samples of a fused
+        block eagerly, so another worker's samples at earlier virtual
+        times may follow them in the list. (For unfused runs append order
+        is already time order and the stable sort is a no-op.)
+        """
         if not (0 < fraction_of_units <= 1):
             raise SimConfigError("fraction must be in (0, 1]")
         target = fraction_of_units * total_units
         done = 0.0
-        for s in self.samples:
-            if s.kind == QUANTUM:
-                done += s.value
-                if done >= target:
-                    return s.time
+        quanta = sorted((s for s in self.samples if s.kind == QUANTUM),
+                        key=lambda s: s.time)
+        for s in quanta:
+            done += s.value
+            if done >= target:
+                return s.time
         return None
 
     def idle_episodes(self, pid: int) -> int:

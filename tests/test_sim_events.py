@@ -122,3 +122,89 @@ def test_property_cancelled_never_fire(entries):
     while q.pop() is not None:
         fired += 1
     assert fired == live
+
+
+# -- peek / cancel edges (the contracts the macro-event fast path rests on) --
+
+
+def test_peek_returns_next_live_event():
+    q = EventQueue()
+    q.push(3.0, lambda: None, tag="late")
+    q.push(1.0, lambda: None, tag="early")
+    ev = q.peek()
+    assert ev is not None and ev.time == 1.0 and ev.tag == "early"
+    # peeking neither pops nor advances the clock
+    assert len(q) == 2 and q.now == 0.0
+    assert q.pop() is ev
+
+
+def test_cancel_then_peek_skips_to_next_live():
+    q = EventQueue()
+    first = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None, tag="live")
+    first.cancel()
+    assert q.peek_time() == 2.0
+    ev = q.peek()
+    assert ev is not None and ev.tag == "live" and not ev.cancelled
+    assert q.skipped == 1  # the cancelled head was pruned, not retained
+
+
+def test_peek_all_cancelled_returns_none():
+    q = EventQueue()
+    evs = [q.push(float(t), lambda: None) for t in (1, 2, 3)]
+    for ev in evs:
+        ev.cancel()
+    assert q.peek() is None
+    assert q.peek_time() is None
+    assert len(q) == 0
+
+
+def test_peek_equal_timestamp_tiebreak_stable():
+    """peek() must agree with pop() order for equal times: insertion order."""
+    q = EventQueue()
+    a = q.push(1.0, lambda: None, tag="a")
+    q.push(1.0, lambda: None, tag="b")
+    assert q.peek() is a
+    # cancelling the first makes the *second* insertion the head
+    a.cancel()
+    ev = q.peek()
+    assert ev is not None and ev.tag == "b"
+    popped = q.pop()
+    assert popped is ev
+
+
+def test_peek_after_cancel_of_later_event():
+    """Cancelling a non-head event never disturbs the head."""
+    q = EventQueue()
+    head = q.push(1.0, lambda: None)
+    later = q.push(5.0, lambda: None)
+    later.cancel()
+    assert q.peek() is head
+    assert q.peek_time() == 1.0
+
+
+def test_peek_then_push_earlier_updates_head():
+    q = EventQueue()
+    q.push(5.0, lambda: None)
+    assert q.peek_time() == 5.0
+    early = q.push(2.0, lambda: None)
+    assert q.peek() is early
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=50,
+                                    allow_nan=False),
+                          st.booleans()),
+                min_size=1, max_size=60))
+def test_property_peek_matches_next_pop(entries):
+    """After arbitrary pushes and cancellations, peek() == next pop()."""
+    q = EventQueue()
+    for t, cancel in entries:
+        ev = q.push(t, lambda: None)
+        if cancel:
+            ev.cancel()
+    while True:
+        peeked = q.peek()
+        popped = q.pop()
+        assert peeked is popped
+        if popped is None:
+            break

@@ -71,3 +71,39 @@ def test_independent_channels_not_serialized():
     rec = sim.add_process(Recorder(2))
     sim.run()
     assert rec.seen == ["fast", "slow"]
+
+
+def test_fifo_state_bounded_on_long_random_victim_run():
+    """The per-channel FIFO clock map must not grow O(channels-ever-used).
+
+    Random work stealing touches a fresh (src, dst) channel per steal
+    attempt, so an append-only map grows towards n^2 entries over a long
+    run. The engine sweeps entries whose ``arrive_at`` is in the past
+    (they can no longer delay anything: ``max(now + delay, stale)`` is
+    ``now + delay``), keeping the map proportional to the *in-flight*
+    message set. Disabling the sweep must change nothing but the memory.
+    """
+    from repro.apps.synthetic import SyntheticApplication
+    from repro.experiments.runner import RunConfig, build_workers
+    from repro.sim.engine import Simulator
+
+    def run(disable_sweep):
+        cfg = RunConfig(protocol="RWS", n=48, quantum=16, seed=3)
+        sim = Simulator(network=uniform_network(cores=4096, latency=1e-4),
+                        seed=cfg.seed)
+        if disable_sweep:
+            sim._fifo_sweep = 1 << 60
+        build_workers(sim, cfg, SyntheticApplication(48 * 400,
+                                                     unit_cost=1e-6))
+        return sim, sim.run()
+
+    pruned, ps = run(False)
+    unpruned, us = run(True)
+    # pruning is invisible to the simulation itself
+    assert ps.makespan == us.makespan
+    assert ps.total_msgs == us.total_msgs
+    assert ps.total_work_units == us.total_work_units
+    # ... but caps the map at the sweep threshold instead of the
+    # ever-growing set of channels the run touched
+    assert len(unpruned._fifo) > 1000
+    assert len(pruned._fifo) <= pruned._fifo_sweep <= 512
