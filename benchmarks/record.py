@@ -39,6 +39,18 @@ Writes ``BENCH_scale.json``; the CI ``scale-smoke`` job re-records with
 ``--quick`` and gates it via ``check_regression.py --baseline
 benchmarks/BENCH_scale.json``.
 
+The ``shard`` mode (``python benchmarks/record.py shard``) records the
+sharded parallel engine (:mod:`repro.sim.shard`) against its serial
+twin on the same CI-sized gate workload: per-shard compute seconds,
+the wall/CPU split of both runs, and the wall-clock speedup-vs-serial.
+The speedup itself is context, not gated — it tracks the recording
+machine's core count (a 1-core host *must* show < 1x: the shards
+time-slice one core and pay the barrier tax on top) — while the two
+throughput rates are gated so a protocol stall or a broken window
+loop cannot land silently. Writes ``BENCH_shard.json``; the CI
+``shard-smoke`` job re-records with ``--quick`` and gates via
+``check_regression.py --baseline benchmarks/BENCH_shard.json``.
+
 ``--quick`` shrinks the kernel budgets (CI-sized: the regression gate in
 ``check_regression.py`` runs ``kernels --quick`` on every PR); ``--out``
 redirects the JSON so a fresh recording can be compared against the
@@ -415,6 +427,84 @@ def scale_bench(quick=False, out=None):
     print(f"wrote {out}")
 
 
+def shard_bench(quick=False, out=None, jobs=0):
+    """Sharded parallel engine vs its serial twin (``BENCH_shard.json``).
+
+    Both runs execute the fixed CI-sized gate workload (the same 2000-node
+    cell ``scale_bench`` gates), so a ``--quick`` re-recording compares
+    apples-to-apples with the committed baseline. Without ``--quick`` a
+    10,000-node BTD/synthetic cell is added as context — the workload the
+    issue's multi-core speedup claim is stated on.
+    """
+    from repro.experiments.parallel import resolve_jobs
+    from repro.experiments.scale import scale_run
+
+    _eq_rate, calib_rate = gated_rates()
+    cores = os.cpu_count() or 1
+    shards = resolve_jobs(jobs) if jobs else max(2, min(4, cores))
+    gate_kw = dict(n=2000, quantum=16, seed=42, latency=1e-2,
+                   units_per_node=5_000, unit_cost=1e-6, preset="bin_small")
+
+    serial = scale_run("TD", "synthetic", **gate_kw)
+    sharded = scale_run("TD", "synthetic", shards=shards, **gate_kw)
+    assert sharded.total_units == serial.total_units, "conservation broken"
+
+    after = {
+        "shard_serial_td_synth_eq_per_s": round(serial.eq_per_s),
+        "shard_td_synth_eq_per_s": round(sharded.eq_per_s),
+    }
+    report = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cores": cores,
+        "shards": shards,
+        "quick": quick,
+        "calibration_ops_per_s": round(calib_rate),
+        # context, not gated
+        "gate_workload": dict(gate_kw),
+        "gate_serial": serial.to_json(),
+        "gate_sharded": sharded.to_json(),
+        "gate_speedup_vs_serial": round(serial.wall_s / sharded.wall_s, 2),
+        "gate_makespan_match": sharded.makespan == serial.makespan,
+        "metrics": {name: {"after": value} for name, value in after.items()},
+    }
+    for name, value in after.items():
+        print(f"{name:38s} {value:>12,}")
+    print(f"{shards} shards on {cores} core(s): "
+          f"wall {sharded.wall_s:.1f}s vs serial {serial.wall_s:.1f}s "
+          f"({report['gate_speedup_vs_serial']:.2f}x), "
+          f"shard compute {[round(w, 1) for w in sharded.shard_walls]}s, "
+          f"makespan match {report['gate_makespan_match']}")
+
+    if not quick:
+        big_kw = dict(quantum=16, seed=42, latency=1e-2,
+                      units_per_node=50_000, unit_cost=1e-6,
+                      preset="bin_small")
+        b_serial = scale_run("BTD", "synthetic", 10_000, **big_kw)
+        b_shard = scale_run("BTD", "synthetic", 10_000,
+                            shards=max(shards, 4), **big_kw)
+        report["btd_10k_serial"] = b_serial.to_json()
+        report["btd_10k_sharded"] = b_shard.to_json()
+        report["btd_10k_speedup_vs_serial"] = round(
+            b_serial.wall_s / b_shard.wall_s, 2)
+        # the sweep workload is zero-jitter and homogeneous — the one
+        # regime where sharding may reorder exactly-simultaneous events
+        # (docs/simulation.md, "Parallel sharding"), so unlike the gate
+        # cell the 10k makespans need not match to the bit; conservation
+        # is still exact (scale_run raises otherwise)
+        report["btd_10k_makespan_match"] = (
+            b_shard.makespan == b_serial.makespan)
+        print(f"10k BTD: wall {b_shard.wall_s:.1f}s vs serial "
+              f"{b_serial.wall_s:.1f}s "
+              f"({report['btd_10k_speedup_vs_serial']:.2f}x on "
+              f"{cores} core(s))")
+
+    out = (pathlib.Path(out) if out
+           else pathlib.Path(__file__).with_name("BENCH_shard.json"))
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
 def kernels(quick=False, out=None):
     eq_rate, calib_rate = gated_rates()
     if quick:
@@ -466,9 +556,10 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("mode", nargs="?", default="kernels",
                         choices=("kernels", "harness", "faults", "live",
-                                 "scale"))
+                                 "scale", "shard"))
     parser.add_argument("--jobs", type=int, default=0,
-                        help="pool size for harness mode (0 = all cores)")
+                        help="pool size for harness mode / shard count for "
+                             "shard mode (0 = auto)")
     parser.add_argument("--quick", action="store_true",
                         help="kernels/live mode: CI-sized budgets")
     parser.add_argument("--out", default=None,
@@ -483,6 +574,8 @@ def main(argv=None):
         live_backend(quick=args.quick, out=args.out)
     elif args.mode == "scale":
         scale_bench(quick=args.quick, out=args.out)
+    elif args.mode == "shard":
+        shard_bench(quick=args.quick, out=args.out, jobs=args.jobs)
     else:
         kernels(quick=args.quick, out=args.out)
 

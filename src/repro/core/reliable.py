@@ -138,6 +138,8 @@ class ReliableChannel:
         if seq in seen:
             return False
         seen.add(seq)
+        host = self.host
+        host.sim.note_reliable_delivery(host.pid, src, seq)
         return True
 
     def was_delivered(self, src: int, seq: int) -> bool:

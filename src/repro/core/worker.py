@@ -274,6 +274,13 @@ class WorkerProcess(SimProcess):
         h = sim.queue.peek_time()
         if h is not None:
             h += sim._min_net_delay
+        # Sharded runs (repro.sim.shard): a foreign *shard's* events are
+        # invisible to this queue, but the conservative-lookahead barrier
+        # guarantees their influence lands at or after the current window
+        # end — so the window end is a valid horizon term of kind (b).
+        wend = sim._window_end
+        if wend is not None and (h is None or wend < h):
+            h = wend
         mine = self._inbound_horizon()
         if mine is not None and (h is None or mine < h):
             return mine

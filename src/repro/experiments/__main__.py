@@ -35,7 +35,8 @@ SUBCOMMANDS = {
     "live": "run the protocols over real OS processes and sockets "
             "(optionally injecting worker kills)",
     "scale": "fleet-scale sweep of the macro-event engine "
-             "(10^4-node runs on one host)",
+             "(10^4-node runs on one host; --shards K runs the fleet "
+             "sharded over K cores)",
 }
 
 

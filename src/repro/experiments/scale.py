@@ -19,15 +19,26 @@ on a single host.  This module is the harness around that claim:
   (``RunStats.events_equivalent`` counts the events an unfused engine
   would have fired for the same run).
 
+On a multi-core host the sweep can additionally split each run over
+shard processes (:mod:`repro.sim.shard` — conservative-lookahead
+parallel DES): ``--shards K`` partitions the fleet by overlay subtree
+into K single-core event loops that advance in lock-step windows of
+``min_delay()``. The conservation oracle applies unchanged — it is
+schedule-independent — and the per-cell report carries the wall/CPU
+split plus per-shard compute seconds.
+
 CLI (``python -m repro.experiments scale``)::
 
     python -m repro.experiments scale --nodes 10000 --json sweep.json
     python -m repro.experiments scale --nodes 2000 --units-per-node 5000 \
         --preset bin_small --no-twin     # CI-sized smoke
+    python -m repro.experiments scale --nodes 100000 --shards 0 \
+        --units-per-node 200 --protocols TD --apps synthetic --no-twin
 
 The committed 10k recording lives in ``benchmarks/BENCH_scale.json``
 (``python benchmarks/record.py scale``); CI re-records the quick variant
-and gates it with ``benchmarks/check_regression.py``.
+and gates it with ``benchmarks/check_regression.py``. The sharded
+recording is ``benchmarks/BENCH_shard.json`` (``record.py shard``).
 """
 
 from __future__ import annotations
@@ -108,6 +119,9 @@ class ScaleRow:
     total_units: int
     total_msgs: int
     total_steals: int
+    shards: int = 1           # event-loop processes the run was split over
+    cpu_s: float = 0.0        # CPU seconds (sum over shards when sharded)
+    shard_walls: tuple = ()   # per-shard compute seconds (empty serial)
 
     @property
     def fused_ratio(self) -> float:
@@ -130,6 +144,8 @@ class ScaleRow:
         out["eq_per_s"] = round(self.eq_per_s)
         out["events_per_s"] = round(self.events_per_s)
         out["wall_s"] = round(self.wall_s, 2)
+        out["cpu_s"] = round(self.cpu_s, 2)
+        out["shard_walls"] = [round(w, 2) for w in self.shard_walls]
         return out
 
 
@@ -150,21 +166,60 @@ def build_app(app: str, n: int, *, units_per_node: int, unit_cost: float,
     raise SimConfigError(f"unknown scale app {app!r}; known: synthetic, uts")
 
 
+class _CellApp:
+    """Picklable zero-arg application builder for sharded cells.
+
+    :func:`repro.sim.shard.run_sharded` re-creates the application inside
+    each shard child; under the spawn fallback the builder crosses a
+    process boundary, so it must be a module-level callable, not a
+    closure.
+    """
+
+    __slots__ = ("app", "n", "units_per_node", "unit_cost", "preset")
+
+    def __init__(self, app: str, n: int, units_per_node: int,
+                 unit_cost: float, preset: str) -> None:
+        self.app = app
+        self.n = n
+        self.units_per_node = units_per_node
+        self.unit_cost = unit_cost
+        self.preset = preset
+
+    def __call__(self) -> Application:
+        return build_app(self.app, self.n, units_per_node=self.units_per_node,
+                         unit_cost=self.unit_cost, preset=self.preset)[0]
+
+
 def scale_run(protocol: str, app: str, n: int, *,
               quantum: int = DEFAULT_QUANTUM, seed: int = 42,
               latency: float = DEFAULT_LATENCY,
               units_per_node: int = DEFAULT_UNITS_PER_NODE,
               unit_cost: float = DEFAULT_UNIT_COST,
-              preset: str = "bin_large", fuse: bool = True) -> ScaleRow:
-    """Run one fleet-scale cell and verify work conservation."""
-    application, expected = build_app(app, n, units_per_node=units_per_node,
-                                      unit_cost=unit_cost, preset=preset)
+              preset: str = "bin_large", fuse: bool = True,
+              shards: int = 1) -> ScaleRow:
+    """Run one fleet-scale cell and verify work conservation.
+
+    ``shards > 1`` splits the run over that many OS processes
+    (:func:`repro.sim.shard.run_sharded`); the conservation oracle is
+    checked identically — it holds under any event schedule.
+    """
+    builder = _CellApp(app, n, units_per_node, unit_cost, preset)
+    _app0, expected = build_app(app, n, units_per_node=units_per_node,
+                                unit_cost=unit_cost, preset=preset)
     oclb, ack_timeout = fleet_pacing(latency)
     cfg = RunConfig(protocol=protocol, n=n, quantum=quantum, seed=seed,
                     network=fleet_network(n, latency), oclb=oclb,
                     ack_timeout=ack_timeout, fuse=fuse)
     t0 = time.perf_counter()
-    res, _stats = run_instrumented(cfg, application)
+    cpu0 = time.process_time()
+    if shards > 1:
+        from ..sim.shard import run_sharded
+        res, _stats, shard_walls = run_sharded(cfg, builder, shards)
+        cpu = sum(shard_walls)
+    else:
+        res, _stats = run_instrumented(cfg, _app0)
+        shard_walls = []
+        cpu = time.process_time() - cpu0
     wall = time.perf_counter() - t0
     if res.total_units != expected:
         raise RuntimeError(
@@ -178,7 +233,8 @@ def scale_run(protocol: str, app: str, n: int, *,
         events=res.events, events_equivalent=res.events_equivalent,
         macro_events=res.macro_events, fused_quanta=res.fused_quanta,
         total_units=res.total_units, total_msgs=res.total_msgs,
-        total_steals=res.total_steals)
+        total_steals=res.total_steals,
+        shards=max(1, shards), cpu_s=cpu, shard_walls=tuple(shard_walls))
 
 
 def scale_sweep(nodes: int, protocols=DEFAULT_PROTOCOLS, apps=DEFAULT_APPS,
@@ -187,7 +243,7 @@ def scale_sweep(nodes: int, protocols=DEFAULT_PROTOCOLS, apps=DEFAULT_APPS,
                 units_per_node: int = DEFAULT_UNITS_PER_NODE,
                 unit_cost: float = DEFAULT_UNIT_COST,
                 preset: str = "bin_large", twin: bool = True,
-                progress=None) -> dict:
+                shards: int = 1, progress=None) -> dict:
     """The full grid, fused — plus the unfused synthetic-TD twin.
 
     Returns a JSON-ready document: ``rows`` (fused cells), optionally
@@ -199,13 +255,16 @@ def scale_sweep(nodes: int, protocols=DEFAULT_PROTOCOLS, apps=DEFAULT_APPS,
     rows: list[ScaleRow] = []
     for app in apps:
         for proto in protocols:
-            say(f"{proto:4s} x {app:9s} n={nodes} fused ...")
+            say(f"{proto:4s} x {app:9s} n={nodes} fused "
+                f"shards={shards} ...")
             row = scale_run(proto, app, nodes, quantum=quantum, seed=seed,
                             latency=latency, units_per_node=units_per_node,
-                            unit_cost=unit_cost, preset=preset)
+                            unit_cost=unit_cost, preset=preset,
+                            shards=shards)
             say(f"{proto:4s} x {app:9s} done: makespan {row.makespan:.3f}s "
                 f"wall {row.wall_s:.1f}s ratio {row.fused_ratio:.3f}")
             rows.append(row)
+    import os as _os
     doc: dict = {
         "nodes": nodes,
         "quantum": quantum,
@@ -214,6 +273,8 @@ def scale_sweep(nodes: int, protocols=DEFAULT_PROTOCOLS, apps=DEFAULT_APPS,
         "units_per_node": units_per_node,
         "unit_cost": unit_cost,
         "preset": preset,
+        "shards": shards,
+        "cores": _os.cpu_count(),
         "rows": [r.to_json() for r in rows],
     }
     if twin and "synthetic" in apps and protocols:
@@ -222,7 +283,7 @@ def scale_sweep(nodes: int, protocols=DEFAULT_PROTOCOLS, apps=DEFAULT_APPS,
         u = scale_run(twin_proto, "synthetic", nodes, quantum=quantum,
                       seed=seed, latency=latency,
                       units_per_node=units_per_node, unit_cost=unit_cost,
-                      preset=preset, fuse=False)
+                      preset=preset, fuse=False, shards=shards)
         f = next(r for r in rows
                  if r.protocol == twin_proto and r.app == "synthetic")
         speedup = f.eq_per_s / u.events_per_s if u.events_per_s else 0.0
@@ -236,8 +297,10 @@ def scale_sweep(nodes: int, protocols=DEFAULT_PROTOCOLS, apps=DEFAULT_APPS,
 
 def render_sweep(doc: dict) -> str:
     """Plain-text table of a sweep document."""
+    shard_note = (f" shards={doc['shards']} (cores={doc.get('cores')})"
+                  if doc.get("shards", 1) > 1 else "")
     lines = [f"fleet-scale sweep: n={doc['nodes']} quantum={doc['quantum']} "
-             f"latency={doc['latency']:g}s seed={doc['seed']}",
+             f"latency={doc['latency']:g}s seed={doc['seed']}{shard_note}",
              f"{'protocol':9s} {'app':10s} {'makespan':>10s} {'wall':>8s} "
              f"{'events':>12s} {'eq-events':>12s} {'fused%':>7s} "
              f"{'eq/s':>10s}",
@@ -283,17 +346,26 @@ def scale_main(argv=None) -> int:
     parser.add_argument("--unit-cost", type=float, default=DEFAULT_UNIT_COST)
     parser.add_argument("--no-twin", action="store_true",
                         help="skip the unfused comparison run")
+    parser.add_argument("--shards", "--jobs", dest="shards", type=int,
+                        default=None,
+                        help="split each run over this many shard processes "
+                             "(conservative-lookahead parallel DES; see "
+                             "docs/simulation.md). Resolution order matches "
+                             "the grid runner: explicit --shards/--jobs > "
+                             "$REPRO_JOBS > 1; 0 = all cores")
     parser.add_argument("--json", default=None,
                         help="write the sweep document here")
     args = parser.parse_args(argv)
 
+    from .parallel import resolve_jobs
+    shards = resolve_jobs(args.shards)
     doc = scale_sweep(
         args.nodes,
         protocols=tuple(p.strip() for p in args.protocols.split(",") if p),
         apps=tuple(a.strip() for a in args.apps.split(",") if a),
         quantum=args.quantum, seed=args.seed, latency=args.latency,
         units_per_node=args.units_per_node, unit_cost=args.unit_cost,
-        preset=args.preset, twin=not args.no_twin,
+        preset=args.preset, twin=not args.no_twin, shards=shards,
         progress=lambda msg: print(msg, file=sys.stderr, flush=True))
     print(render_sweep(doc))
     if args.json:

@@ -207,6 +207,11 @@ class LiveEnv:
     def is_crashed(self, pid: int) -> bool:
         return self.faults is not None and pid in self.faults.crashed
 
+    def note_reliable_delivery(self, dst_pid: int, src_pid: int,
+                               seq: int) -> None:
+        """No-op: the live runtime's receive log is the on-disk spool,
+        committed by the worker itself before every flush."""
+
     def mark_dead(self, pid: int) -> None:
         """Supervisor announced a death: absorb it and run the repair
         machinery exactly as the simulator's perfect FD would."""

@@ -57,7 +57,7 @@ class Simulator:
                  auto_place: bool = True, debug: bool = False,
                  faults: Optional[FaultPlan] = None,
                  metrics: Optional["MetricsRegistry"] = None,
-                 fuse: bool = True) -> None:
+                 fuse: bool = True, shard=None) -> None:
         self.network = network if network is not None else uniform_network()
         self.seed = seed
         self.debug = debug
@@ -72,7 +72,9 @@ class Simulator:
         self.faults: Optional[FaultController] = (
             FaultController(faults, seed)
             if faults is not None and not faults.is_null() else None)
-        self.queue = EventQueue()
+        # Shard mode keys ties by push time so barrier-injected deliveries
+        # reproduce the serial insertion order (see EventQueue docstring).
+        self.queue = EventQueue(tie_by_push_time=shard is not None)
         self.processes: list[SimProcess] = []
         self._arrive_fns: list = []
         self.stats = RunStats.create(0)
@@ -97,6 +99,19 @@ class Simulator:
         self._fuse = fuse
         self._fuse_active = False
         self._min_net_delay = self.network.min_delay()
+        # Sharded parallel runs (repro.sim.shard): ``shard`` is the shard
+        # context of the owning shard process — it maps every pid to its
+        # shard, collects cross-shard exports from transmit(), and brokers
+        # post-mortem receive-log queries. None (the default) keeps every
+        # hook below a single dead branch: a serial run is bit-identical
+        # to the pre-shard engine.
+        self._shard = shard
+        # Current window horizon while running under repro.sim.shard
+        # (run_window); the fusion fast path treats it as an additional
+        # lookahead bound — a foreign shard's events cannot land an
+        # arrival before the window end.
+        self._window_end: Optional[float] = None
+        self._fired = 0
 
     # -- construction --------------------------------------------------------
 
@@ -154,6 +169,29 @@ class Simulator:
         chan = (msg.src, dst)
         arrive_at = max(now + delay, self._fifo.get(chan, 0.0))
         self._fifo[chan] = arrive_at
+        sh = self._shard
+        if sh is not None and dst != msg.src:
+            # Sharded run: every delivery to another pid arrives at least
+            # min_delay() away — at or past the window end — so none can
+            # fire inside the current window. Both local and cross-shard
+            # deliveries therefore detour through the barrier, where they
+            # are merge-ordered by (send time, sender, sender's send
+            # sequence) before injection: at equal arrival times the
+            # destination queue sees them in serial transmit order, which
+            # is what the serial engine's insertion-order tie-break fires.
+            # Everything source-side — send stats, loss/dup draws,
+            # pricing, the (src, dst) FIFO clock — already happened above,
+            # identically to a serial run. (Self-sends can arrive within
+            # the window; they fall through to the direct push below.)
+            sh.export(msg, arrive_at)
+            if fc is not None and fc.duplicates(msg):
+                src_stats.msgs_duplicated += 1
+                dup_delay = self.network.delivery_delay(msg.src, dst,
+                                                        msg.size_bytes)
+                dup_at = max(now + dup_delay, self._fifo[chan])
+                self._fifo[chan] = dup_at
+                sh.export(msg, dup_at)
+            return
         if self._fuse_active:
             self.processes[dst]._note_inbound(arrive_at)
         self.queue.push(
@@ -184,9 +222,9 @@ class Simulator:
         if self.now > self.stats.work_done_time:
             self.stats.work_done_time = self.now
 
-    def run(self, max_time: Optional[float] = None,
-            max_events: Optional[int] = None) -> RunStats:
-        """Execute until the queue drains (or a limit trips); returns stats."""
+    def _begin(self, limited: bool) -> None:
+        """Shared setup for run() and begin_windows(): stats, placement,
+        crash schedule, process start."""
         if self._started:
             raise SimConfigError("a Simulator instance runs only once")
         self._started = True
@@ -199,13 +237,17 @@ class Simulator:
         # Fusion needs the full event schedule ahead of time to be the
         # run's own; truncation limits cut at per-event granularity, so a
         # limited run falls back to the one-event-per-quantum engine.
-        self._fuse_active = (self._fuse and max_time is None
-                             and max_events is None)
+        self._fuse_active = self._fuse and not limited
+        sh = self._shard
         if self.faults is not None:
             for pid, t in self.faults.plan.crashes:
                 if pid >= len(self.processes):
                     raise SimConfigError(
                         f"fault plan crashes unknown process {pid}")
+                if sh is not None and sh.owner[pid] != sh.shard_id:
+                    # Remote pids crash in their own shard; is_crashed
+                    # answers for them from the plan (see below).
+                    continue
                 if self._fuse_active:
                     self.processes[pid]._note_inbound(t)
                 self.queue.push(t, self._crash_process,
@@ -213,6 +255,19 @@ class Simulator:
                                 arg=pid)
         for proc in self.processes:
             proc.start()
+
+    def _finish(self, truncated: bool) -> RunStats:
+        self._running = False
+        self.stats.events_fired = self._fired
+        self._finalize(truncated=truncated)
+        return self.stats
+
+    def run(self, max_time: Optional[float] = None,
+            max_events: Optional[int] = None) -> RunStats:
+        """Execute until the queue drains (or a limit trips); returns stats."""
+        limited = max_time is not None or max_events is not None
+        self._begin(limited)
+        queue = self.queue
         fired = 0
         # A run is *truncated* only when a limit actually cut it short —
         # stop() was called, or an event beyond the limit was left pending.
@@ -223,15 +278,17 @@ class Simulator:
             if self._stopped:
                 truncated = True
                 break
-            if max_events is not None and fired >= max_events:
-                truncated = self.queue.peek_time() is not None
-                break
-            if max_time is not None:
-                nxt = self.queue.peek_time()
-                if nxt is not None and nxt > max_time:
+            if limited:
+                # One peek serves both limit checks (the pop below re-walks
+                # at most the cancelled heads peek already pruned).
+                nxt = queue.peek_time()
+                if max_events is not None and fired >= max_events:
+                    truncated = nxt is not None
+                    break
+                if max_time is not None and nxt is not None and nxt > max_time:
                     truncated = True
                     break
-            ev = self.queue.pop()
+            ev = queue.pop()
             if ev is None:
                 break
             fired += 1
@@ -240,16 +297,90 @@ class Simulator:
                 ev.action(arg)
             else:
                 ev.action()
-        self._running = False
-        self.stats.events_fired = fired
-        self._finalize(truncated=truncated)
-        return self.stats
+        self._fired = fired
+        return self._finish(truncated)
+
+    # -- windowed execution (repro.sim.shard) -----------------------------------
+    #
+    # The sharded parallel driver replaces the single run() call with:
+    #
+    #     sim.begin_windows()
+    #     while not done:
+    #         next_t = sim.run_window(horizon)   # fire events with t < horizon
+    #         ... barrier: exchange cross-shard messages ...
+    #         for msg, at in inbound: sim.inject(msg, at)
+    #     stats = sim.finish_windows()
+    #
+    # run_window never fires an event at or past the horizon, and inject
+    # only ever lands arrivals at or past it (conservative lookahead), so
+    # the queue's no-rewind invariant holds by construction.
+
+    def begin_windows(self) -> None:
+        """Start a windowed run (sharded driver); pair with finish_windows."""
+        self._begin(limited=False)
+
+    def run_window(self, horizon: float) -> Optional[float]:
+        """Fire every pending event with time strictly below ``horizon``.
+
+        Returns the next pending event time (>= horizon) or None if the
+        local queue is empty — the shard's bid for the next window start.
+        """
+        self._window_end = horizon
+        queue = self.queue
+        fired = self._fired
+        while True:
+            nxt = queue.peek_time()
+            if nxt is None or nxt >= horizon:
+                break
+            ev = queue.pop()
+            fired += 1
+            arg = ev.arg
+            if arg is not None:
+                ev.action(arg)
+            else:
+                ev.action()
+        self._fired = fired
+        self._window_end = None
+        return nxt
+
+    def inject(self, msg: Message, arrive_at: float) -> None:
+        """Deliver a foreign shard's message locally at ``arrive_at``.
+
+        The sender's shard already priced the delivery (delay, FIFO clock,
+        loss/dup draws) and counted the source-side stats; this side only
+        schedules the arrival, exactly as transmit() would have.
+        """
+        dst = msg.dst
+        if self._fuse_active:
+            self.processes[dst]._note_inbound(arrive_at)
+        self.queue.push(
+            arrive_at, self._arrive_fns[dst],
+            tag=f"deliver:{msg.kind}->{dst}" if self.debug else "",
+            arg=msg, sent_at=msg.send_time)
+
+    def finish_windows(self) -> RunStats:
+        """End a windowed run: deadlock check, seal, return stats."""
+        return self._finish(truncated=False)
 
     # -- faults -----------------------------------------------------------------
 
     def is_crashed(self, pid: int) -> bool:
         """Ground truth used by the (perfect) failure detector model."""
-        return self.faults is not None and pid in self.faults.crashed
+        fc = self.faults
+        if fc is None:
+            return False
+        if pid in fc.crashed:
+            return True
+        if self._shard is not None:
+            # Remote pids crash in their owner's shard; answer from the
+            # plan instead. Exactly equivalent to the event-based answer:
+            # crash events are pushed in _begin(), before any start() can
+            # schedule anything, so at their timestamp they hold the
+            # smallest sequence number and fire before any same-time
+            # query — plan time <= now iff the event already fired.
+            t = fc.crash_times.get(pid)
+            return t is not None and t <= self.queue.now
+        return False
 
     def peer_logged(self, dead_pid: int, src_pid: int, seq: int) -> bool:
         """Whether crashed ``dead_pid`` logged transfer ``seq`` from
@@ -260,8 +391,28 @@ class Simulator:
         storage; reading it post-mortem is the modelled "recovery from the
         log" (the live runtime reads an actual on-disk spool here).
         """
+        sh = self._shard
+        if sh is not None and sh.owner[dead_pid] != sh.shard_id:
+            # The dead peer's log lives in its owner's shard; the shard
+            # context brokers the lookup through the parent (which blocks
+            # until the owner's clock has passed the crash, so the log is
+            # frozen and the answer exact).
+            return sh.query_peer_log(dead_pid, src_pid, seq)
         ch = getattr(self.processes[dead_pid], "_reliable", None)
         return ch is not None and ch.was_delivered(src_pid, seq)
+
+    def note_reliable_delivery(self, dst_pid: int, src_pid: int,
+                               seq: int) -> None:
+        """Hook: ``dst_pid``'s reliable channel logged transfer ``seq``
+        from ``src_pid``.
+
+        Serial runs ignore it (peer_logged reads the channel directly);
+        under sharding the context mirrors entries for planned-crash pids
+        to the parent so foreign shards can query them post-mortem.
+        """
+        sh = self._shard
+        if sh is not None:
+            sh.note_delivery(dst_pid, src_pid, seq)
 
     def _crash_process(self, pid: int) -> None:
         """Crash-stop ``pid``: halt execution, drop state, never recover."""

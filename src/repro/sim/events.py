@@ -71,14 +71,30 @@ class EventQueue:
 
     The queue never rewinds: pushing an event earlier than the last popped
     time raises :class:`SimRuntimeError` (a protocol scheduling bug).
+
+    Tie-breaking has two modes. The default heap key is ``(time, seq)``:
+    simultaneous events fire in insertion order, which makes serial runs
+    bit-reproducible. Sharded runs (``tie_by_push_time=True``) key by
+    ``(time, push_key, seq)`` where ``push_key`` is the virtual time at
+    which the event was *pushed* — or, for deliveries injected at a window
+    barrier, the original send time passed via ``sent_at``. Because the
+    serial clock is monotone, serial insertion order *is* push-time order,
+    so the three-part key reproduces the serial tie-break even though a
+    barrier-injected arrival enters the heap long after the local events
+    it must beat (its ``push_key`` is the instant serial would have pushed
+    it). Ties are only unresolvable when two competing events were pushed
+    at the exact same virtual instant from different shards.
     """
 
-    __slots__ = ("_heap", "_seq", "_now", "pushed", "fired", "skipped")
+    __slots__ = ("_heap", "_seq", "_now", "_tie_by_push", "_pop_key",
+                 "pushed", "fired", "skipped")
 
-    def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Event]] = []
+    def __init__(self, tie_by_push_time: bool = False) -> None:
+        self._heap: list[tuple] = []
         self._seq = 0
         self._now = 0.0
+        self._tie_by_push = tie_by_push_time
+        self._pop_key = 0.0
         self.pushed = 0
         self.fired = 0
         self.skipped = 0
@@ -88,6 +104,17 @@ class EventQueue:
         """Virtual time of the last popped event (0.0 initially)."""
         return self._now
 
+    @property
+    def current_push_key(self) -> float:
+        """Push key of the event currently firing (``tie_by_push_time``
+        mode only; 0.0 before the first pop). The shard engine stamps it
+        onto exported deliveries as their *cause key*: two deliveries sent
+        at the same virtual instant from different processes are ordered
+        in serial by which causing event fired first, and the causing
+        events themselves are ordered by push key — so carrying the key
+        lets the receiving shard reproduce that order."""
+        return self._pop_key
+
     def __len__(self) -> int:
         return len(self._heap)
 
@@ -95,11 +122,14 @@ class EventQueue:
         return bool(self._heap)
 
     def push(self, time: float, action: Callable[..., None], tag: str = "",
-             arg: Any = None) -> Event:
+             arg: Any = None, sent_at: Optional[float] = None) -> Event:
         """Schedule ``action`` at virtual ``time``; returns a cancellable handle.
 
         ``arg``, when given, is passed to ``action`` at fire time — the
-        zero-allocation alternative to binding it in a lambda.
+        zero-allocation alternative to binding it in a lambda. ``sent_at``
+        overrides the tie-break push key in ``tie_by_push_time`` mode (the
+        shard engine passes the original send time of barrier-injected
+        deliveries); it is ignored in the default mode.
         """
         if time < self._now:
             raise SimRuntimeError(
@@ -109,7 +139,11 @@ class EventQueue:
         seq = self._seq
         self._seq = seq + 1
         ev = Event(time, seq, action, arg, tag)
-        heapq.heappush(self._heap, (time, seq, ev))
+        if self._tie_by_push:
+            heapq.heappush(self._heap, (
+                time, self._now if sent_at is None else sent_at, seq, ev))
+        else:
+            heapq.heappush(self._heap, (time, seq, ev))
         self.pushed += 1
         return ev
 
@@ -118,11 +152,13 @@ class EventQueue:
         heap = self._heap
         while heap:
             entry = heapq.heappop(heap)
-            ev = entry[2]
+            ev = entry[-1]
             if ev.cancelled:
                 self.skipped += 1
                 continue
             self._now = entry[0]
+            if self._tie_by_push:
+                self._pop_key = entry[1]
             self.fired += 1
             return ev
         return None
@@ -137,7 +173,7 @@ class EventQueue:
         fuse ahead must treat the peeked time itself as unsafe.
         """
         heap = self._heap
-        while heap and heap[0][2].cancelled:
+        while heap and heap[0][-1].cancelled:
             heapq.heappop(heap)
             self.skipped += 1
         return heap[0][0] if heap else None
@@ -150,10 +186,10 @@ class EventQueue:
         cancelled afterwards through the handle.
         """
         heap = self._heap
-        while heap and heap[0][2].cancelled:
+        while heap and heap[0][-1].cancelled:
             heapq.heappop(heap)
             self.skipped += 1
-        return heap[0][2] if heap else None
+        return heap[0][-1] if heap else None
 
     def clear(self) -> None:
         """Drop every pending event."""
@@ -161,7 +197,8 @@ class EventQueue:
 
     def snapshot_tags(self) -> list[tuple[float, str]]:
         """Sorted (time, tag) of live events; debugging aid for deadlocks."""
-        return sorted((t, e.tag) for t, _, e in self._heap if not e.cancelled)
+        return sorted((entry[0], entry[-1].tag) for entry in self._heap
+                      if not entry[-1].cancelled)
 
 
 __all__ = ["Event", "EventQueue"]

@@ -6,10 +6,15 @@ duplication probabilities, and transient link blackouts — and the
 :class:`FaultController` executes it inside the engine. Two properties the
 rest of the repository depends on:
 
-* **Determinism.** Every probabilistic decision draws from dedicated
-  :class:`~repro.sim.rng.RngStream` s (``fault-loss``, ``fault-dup``)
-  derived from the run seed, and crash times are explicit plan data, so a
-  faulted run is exactly as bit-reproducible as a clean one.
+* **Determinism.** Every probabilistic decision is a pure function of the
+  run seed and the message's identity: loss and duplication draws are
+  keyed on ``(sender, per-sender send index)`` via
+  :func:`~repro.sim.rng.derive_seed`, and crash times are explicit plan
+  data, so a faulted run is exactly as bit-reproducible as a clean one.
+  Keyed (rather than sequential) draws also make the decisions
+  independent of the *global* transmit interleaving — each sender's
+  message stream sees the same fate whether the fleet runs in one event
+  loop or sharded across several (repro.sim.shard).
 * **Zero overhead when unused.** A null plan (``FaultPlan()`` — no
   crashes, ``loss == dup == 0``, no blackouts) normalises to *no
   controller at all*: the engine keeps its exact pre-fault code paths, so
@@ -29,7 +34,10 @@ from dataclasses import dataclass
 
 from .errors import SimConfigError
 from .messages import Message
-from .rng import RngStream
+from .rng import RngStream, derive_seed
+
+#: Keyed draws map a 63-bit derived seed to a uniform in [0, 1).
+_INV_2_63 = 2.0 ** -63
 
 
 @dataclass(frozen=True)
@@ -113,13 +121,23 @@ class FaultController:
     sits behind a single ``is None`` check on the hot path.
     """
 
-    __slots__ = ("plan", "_loss_rng", "_dup_rng", "crashed", "crash_times")
+    __slots__ = ("plan", "crashed", "crash_times",
+                 "_loss_base", "_dup_base", "_loss_count", "_dup_count")
 
     def __init__(self, plan: FaultPlan, seed: int) -> None:
         self.plan = plan
-        self._loss_rng = RngStream(seed, "fault-loss") if plan.loss > 0 \
+        # Loss/dup draws are keyed, not sequential: message k from sender
+        # src hashes (base, src, k) to a uniform. The per-sender counter
+        # advances in that sender's own transmit order — a *local* order
+        # every shard of a partitioned fleet reproduces exactly — so the
+        # same messages are lost/duplicated regardless of how concurrent
+        # senders interleave in the global event schedule.
+        self._loss_base = derive_seed(seed, "fault-loss") \
+            if plan.loss > 0 else None
+        self._dup_base = derive_seed(seed, "fault-dup") if plan.dup > 0 \
             else None
-        self._dup_rng = RngStream(seed, "fault-dup") if plan.dup > 0 else None
+        self._loss_count: dict[int, int] = {}
+        self._dup_count: dict[int, int] = {}
         self.crashed: set[int] = set()
         self.crash_times: dict[int, float] = dict(plan.crashes)
 
@@ -130,13 +148,23 @@ class FaultController:
                     and (dst is None or dst == msg.dst)
                     and start <= now < end):
                 return True
-        return (self._loss_rng is not None
-                and self._loss_rng.random() < self.plan.loss)
+        base = self._loss_base
+        if base is None:
+            return False
+        src = msg.src
+        k = self._loss_count.get(src, 0)
+        self._loss_count[src] = k + 1
+        return derive_seed(base, src, k) * _INV_2_63 < self.plan.loss
 
     def duplicates(self, msg: Message) -> bool:
         """Decide whether this delivery is duplicated."""
-        return (self._dup_rng is not None
-                and self._dup_rng.random() < self.plan.dup)
+        base = self._dup_base
+        if base is None:
+            return False
+        src = msg.src
+        k = self._dup_count.get(src, 0)
+        self._dup_count[src] = k + 1
+        return derive_seed(base, src, k) * _INV_2_63 < self.plan.dup
 
 
 __all__ = ["FaultPlan", "FaultController"]

@@ -18,10 +18,14 @@ only, larger runs spill onto C2 (paper §IV).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from .errors import SimConfigError
-from .rng import RngStream
+from .rng import RngStream, derive_seed
+
+#: Maps a 63-bit ``derive_seed`` value onto [0, 1).
+_INV_2_63 = 2.0 ** -63
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,7 +51,13 @@ class NetworkModel:
         bandwidth: link bandwidth in bytes/second.
         handler_cost: CPU time the receiver spends absorbing one message (s).
         jitter: if > 0, each delivery adds Exp(1/ (jitter*latency)) noise —
-            used by the failure-injection tests to reorder messages.
+            used by the failure-injection tests to reorder messages. Draws
+            are keyed on (src, per-source send index) rather than taken
+            from one sequential stream, so a delivery's noise is a pure
+            function of who sent it and how many jittered sends that
+            source made before — independent of the global interleaving
+            of *other* senders. Sharded runs rely on this: each shard
+            reproduces exactly the draws of its own sources.
         c2_threshold: runs needing at least this many processes also use the
             second cluster (paper: 800).
     """
@@ -60,7 +70,8 @@ class NetworkModel:
     jitter: float = 0.0
     c2_threshold: int = 800
     _placement: dict[int, int] = field(default_factory=dict, repr=False)
-    _jitter_rng: RngStream | None = field(default=None, repr=False)
+    _jitter_base: int | None = field(default=None, repr=False)
+    _jitter_counts: dict[int, int] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if not self.clusters:
@@ -100,11 +111,12 @@ class NetworkModel:
             slots = slots[:n_processes]
         for pid, ci in enumerate(slots):
             self._placement[pid] = ci
-        # reset (not merely create) the jitter stream so re-placing the
+        # reset (not merely re-key) the jitter state so re-placing the
         # same model — e.g. one NetworkModel reused across grid cells —
         # reproduces the exact delay sequence of a fresh model
-        self._jitter_rng = (RngStream(seed, "net-jitter")
-                            if self.jitter > 0 else None)
+        self._jitter_base = (derive_seed(seed, "net-jitter")
+                             if self.jitter > 0 else None)
+        self._jitter_counts = {}
 
     def cluster_of(self, pid: int) -> int:
         """Cluster index a process was placed on (:func:`place` first)."""
@@ -140,9 +152,11 @@ class NetworkModel:
     def delivery_delay(self, src: int, dst: int, size_bytes: int) -> float:
         """Total network delay for one message (latency + serialisation)."""
         delay = self.latency(src, dst) + size_bytes / self.bandwidth
-        if self._jitter_rng is not None and src != dst:
-            delay += self._jitter_rng.expovariate(
-                1.0 / max(1e-12, self.jitter * self.lat_intra))
+        if self._jitter_base is not None and src != dst:
+            k = self._jitter_counts.get(src, 0)
+            self._jitter_counts[src] = k + 1
+            u = derive_seed(self._jitter_base, src, k) * _INV_2_63
+            delay += -math.log(1.0 - u) * (self.jitter * self.lat_intra)
         return delay
 
 

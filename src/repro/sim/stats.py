@@ -99,6 +99,11 @@ class ColumnarProcessStats:
         object.__setattr__(self, "pid", pid)
 
     def __getattr__(self, name: str):
+        if name.startswith("_"):
+            # no counter is private; bailing here keeps lookups of the
+            # _c slot itself (and pickle's __setstate__ probe, which
+            # runs before slots are restored) from recursing
+            raise AttributeError(name)
         c = self._c
         a = c.i.get(name)
         if a is not None:
@@ -110,6 +115,11 @@ class ColumnarProcessStats:
             f"ColumnarProcessStats has no counter {name!r}")
 
     def __setattr__(self, name: str, value) -> None:
+        if name.startswith("_") or name == "pid":
+            # the two real slots — written by __init__ and by pickle's
+            # slot-state restore, neither of which may touch the arrays
+            object.__setattr__(self, name, value)
+            return
         c = self._c
         a = c.i.get(name)
         if a is None:

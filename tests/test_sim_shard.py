@@ -1,0 +1,277 @@
+"""Sharded parallel engine: partition invariants and serial==sharded goldens.
+
+The correctness bar for :mod:`repro.sim.shard` is *bit-identity* with the
+serial fused engine — same makespan, node counts, steal counts, message
+counts, RNG draws — not statistical agreement. The goldens here pin that
+for every protocol family x application, clean and faulted. Configurations
+use ``jitter > 0``: jitter draws are keyed per (src, send index) so shards
+reproduce them exactly, and the noise breaks the one residual ambiguity
+(events pushed at the *same* virtual instant from different shards, the
+same simultaneity scope already documented for quantum fusion).
+"""
+
+import math
+from functools import partial
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps.synthetic import SyntheticApplication
+from repro.apps.uts_app import UTSApplication
+from repro.experiments.runner import RunConfig, run_instrumented
+from repro.sim.errors import SimConfigError
+from repro.sim.faults import FaultPlan
+from repro.sim.network import ClusterSpec, NetworkModel, uniform_network
+from repro.sim.shard import partition_fleet, run_sharded
+from repro.sim.stats import _FLOAT_FIELDS, _INT_FIELDS, RunStats
+from repro.uts.params import PRESETS
+
+MINI = PRESETS["bin_mini"].params
+
+
+def _synth(total=2000):
+    return SyntheticApplication(total, unit_cost=1e-6)
+
+
+def _uts():
+    return UTSApplication(MINI)
+
+
+def _bnb():
+    from repro.apps.bnb_app import BnBApplication
+    from repro.bnb.taillard import scaled_instance
+    return BnBApplication(scaled_instance(5, n_jobs=6, n_machines=5))
+
+
+APPS = {"synthetic": _synth, "uts": _uts, "bnb": _bnb}
+
+
+def assert_bit_identical(cfg, builder, shards):
+    """Serial fused run and sharded run agree on every observable."""
+    res_s, stats_s = run_instrumented(cfg, builder())
+    res_p, stats_p, walls = run_sharded(cfg, builder, shards)
+    assert len(walls) == min(shards, cfg.n) or walls == [0.0]
+    assert res_p.makespan == res_s.makespan
+    assert res_p.work_done_time == res_s.work_done_time
+    assert res_p.total_units == res_s.total_units
+    assert res_p.total_msgs == res_s.total_msgs
+    assert res_p.total_steals == res_s.total_steals
+    assert res_p.optimum == res_s.optimum
+    assert res_p.optimum_perm == res_s.optimum_perm
+    # events_equivalent is the canonical event count; raw events /
+    # macro_events / fused_quanta measure how fusion *batched* them,
+    # and window horizons legitimately split fusion runs differently
+    assert res_p.events_equivalent == res_s.events_equivalent
+    assert res_p.redundancy == res_s.redundancy
+    assert stats_p.fault_totals() == stats_s.fault_totals()
+    for pid in range(cfg.n):
+        a, b = stats_s.per_process[pid], stats_p.per_process[pid]
+        for name in _INT_FIELDS + _FLOAT_FIELDS:
+            assert getattr(b, name) == getattr(a, name), (pid, name)
+    return res_p
+
+
+# -- partitioning ------------------------------------------------------------
+
+@pytest.mark.parametrize("proto", ["TD", "TR", "BTD", "RWS", "LIFELINE"])
+def test_partition_covers_fleet(proto):
+    cfg = RunConfig(protocol=proto, n=50, dmax=4, seed=7)
+    owner = partition_fleet(cfg, 4)
+    assert len(owner) == 50
+    assert set(owner) == {0, 1, 2, 3}          # no empty shard at this size
+    assert owner[0] == 0                        # root pinned to shard 0
+    assert owner == partition_fleet(cfg, 4)     # deterministic
+
+
+def test_partition_respects_subtrees():
+    """TD units are whole subtrees: every pid shares a shard with its
+    parent unless the parent's subtree was too big to be one unit."""
+    from repro.overlay.tree import deterministic_tree
+    n, shards = 60, 3
+    cfg = RunConfig(protocol="TD", n=n, dmax=3, seed=0)
+    owner = partition_fleet(cfg, shards)
+    tree = deterministic_tree(n, 3)
+    target = -(-n // shards)
+    for pid in range(1, n):
+        parent = tree.parent[pid]
+        if tree.subtree_size[pid] <= target and owner[pid] != owner[parent]:
+            # a cut above pid is only legal where the parent's subtree
+            # exceeded the unit target (the parent became a singleton)
+            assert tree.subtree_size[parent] > target
+
+
+def test_partition_cluster_refinement():
+    """With a placed multi-cluster network no unit straddles clusters, and
+    the partition still covers the fleet."""
+    net = NetworkModel(clusters=(ClusterSpec("a", 64), ClusterSpec("b", 64)),
+                       c2_threshold=8)
+    net.place(40, seed=1)
+    cfg = RunConfig(protocol="TD", n=40, dmax=3, seed=1, network=net)
+    owner = partition_fleet(cfg, 4, network=net)
+    assert len(owner) == 40 and set(owner) <= {0, 1, 2, 3}
+    assert owner[0] == 0
+
+
+# -- golden matrix: serial == sharded ---------------------------------------
+
+@pytest.mark.parametrize("proto", ["TD", "TR", "BTD", "RWS"])
+@pytest.mark.parametrize("app", ["synthetic", "uts", "bnb"])
+def test_golden_serial_equals_sharded(proto, app):
+    cfg = RunConfig(protocol=proto, n=16, dmax=3, quantum=16, seed=42,
+                    jitter=1.5, speed_spread=0.3)
+    assert_bit_identical(cfg, APPS[app], shards=3)
+
+
+@pytest.mark.parametrize("app", ["synthetic", "uts"])
+def test_golden_faulted(app):
+    """Crash-stop + loss + duplication, crashes in different shards."""
+    plan = FaultPlan(crashes=((3, 4e-4), (11, 9e-4)), loss=0.05, dup=0.03)
+    cfg = RunConfig(protocol="TD", n=16, dmax=3, quantum=16, seed=42,
+                    jitter=1.5, faults=plan)
+    res = assert_bit_identical(cfg, APPS[app], shards=3)
+    assert res.crashes == 2
+
+
+# -- window mechanics --------------------------------------------------------
+
+def test_run_window_horizon_is_exclusive():
+    """An event at exactly the horizon must NOT fire in the window — it is
+    the next window's first event (the conservative-lookahead contract:
+    a message sent at t arrives no earlier than t + min_delay == horizon,
+    so firing *at* the horizon could miss it)."""
+    from repro.sim.engine import Simulator
+
+    class _Idle:
+        pid, sim = 0, None
+
+        def start(self):
+            pass
+
+        def finished(self):
+            return True
+
+        def _arrive(self, msg):
+            raise AssertionError("no deliveries expected")
+
+    sim = Simulator(uniform_network(latency=1e-4), seed=0)
+    sim.add_process(_Idle())
+    fired = []
+    sim.begin_windows()
+    sim.queue.push(1.0, partial(fired.append, 1.0))
+    sim.queue.push(2.0, partial(fired.append, 2.0))
+    assert sim.run_window(2.0) == 2.0
+    assert fired == [1.0]
+    assert sim.run_window(math.nextafter(2.0, math.inf)) is None
+    assert fired == [1.0, 2.0]
+
+
+def test_exact_lookahead_boundary_delivery():
+    """Infinite bandwidth + zero handler cost makes every cross-shard
+    arrival land at exactly ``send_time + min_delay`` — the lookahead
+    boundary itself. The run must still terminate and conserve work."""
+    net = NetworkModel(clusters=(ClusterSpec("flat", 64),),
+                       lat_intra=1e-4, lat_inter=1e-4,
+                       bandwidth=math.inf, handler_cost=0.0, jitter=1.5)
+    cfg = RunConfig(protocol="TD", n=8, dmax=3, quantum=16, seed=3,
+                    network=net)
+    assert_bit_identical(cfg, partial(_synth, 1500), shards=2)
+
+
+def test_one_shard_per_pid_empty_windows():
+    """shards == n maximises idle shards: most windows are empty for most
+    shards (their bid is None until work arrives). Still bit-identical."""
+    cfg = RunConfig(protocol="TD", n=8, dmax=3, quantum=16, seed=5,
+                    jitter=1.5)
+    assert_bit_identical(cfg, partial(_synth, 1500), shards=8)
+
+
+def test_crashed_shard_goes_quiet():
+    """Crashing every pid of one shard early leaves that shard with no
+    events for the rest of the run; the window loop must not wedge on its
+    permanently-None bid."""
+    cfg0 = RunConfig(protocol="TD", n=12, dmax=3, quantum=16, seed=9)
+    owner = partition_fleet(cfg0, 3)
+    victims = tuple((pid, 3e-4) for pid in range(12)
+                    if owner[pid] == 2 and pid != 0)
+    assert victims, "partition should give shard 2 some non-root pids"
+    cfg = RunConfig(protocol="TD", n=12, dmax=3, quantum=16, seed=9,
+                    jitter=1.5, faults=FaultPlan(crashes=victims))
+    res = assert_bit_identical(cfg, partial(_synth, 1500), shards=3)
+    assert res.crashes == len(victims)
+    assert res.total_units == 1500
+
+
+# -- API edges ---------------------------------------------------------------
+
+def test_shards_clamped_to_n():
+    cfg = RunConfig(protocol="TD", n=4, dmax=3, quantum=16, seed=2,
+                    jitter=1.5)
+    res, _stats, walls = run_sharded(cfg, partial(_synth, 800), 16)
+    assert len(walls) == 4
+    assert res.total_units == 800
+
+
+def test_max_events_rejected():
+    cfg = RunConfig(protocol="TD", n=8, max_events=100)
+    with pytest.raises(SimConfigError, match="max_events"):
+        run_sharded(cfg, _synth, 2)
+
+
+def test_zero_min_delay_rejected():
+    cfg = RunConfig(protocol="TD", n=8,
+                    network=uniform_network(latency=0.0))
+    with pytest.raises(SimConfigError, match="min_delay"):
+        run_sharded(cfg, _synth, 2)
+
+
+def test_single_shard_falls_back_to_serial():
+    cfg = RunConfig(protocol="BTD", n=8, dmax=3, quantum=16, seed=4)
+    res_p, _stats, walls = run_sharded(cfg, partial(_synth, 1000), 1)
+    assert walls == [0.0]
+    res_s, _ = run_instrumented(cfg, _synth(1000))
+    assert (res_p.makespan, res_p.total_msgs) == (
+        res_s.makespan, res_s.total_msgs)
+
+
+def test_columnar_merge_path(monkeypatch):
+    """Force the columnar RunStats representation at tiny n so the numpy
+    branch of merge_shard_stats is exercised without a 4096-pid run."""
+    pytest.importorskip("numpy")
+    monkeypatch.setattr(RunStats, "COLUMNAR_THRESHOLD", 4)
+    cfg = RunConfig(protocol="TD", n=10, dmax=3, quantum=16, seed=6,
+                    jitter=1.5)
+    assert_bit_identical(cfg, partial(_synth, 1200), shards=2)
+
+
+def test_trace_merge_matches_serial():
+    """Per-shard trace samples merge into the serial timeline: identical
+    sample multisets, ordered by (time, pid) — per-pid order preserved,
+    cross-pid same-time interleaving the only (documented) freedom."""
+    from repro.sim.trace import Tracer
+    cfg = RunConfig(protocol="BTD", n=10, dmax=3, quantum=16, seed=8,
+                    jitter=1.5)
+    tr_s, tr_p = Tracer(), Tracer()
+    run_instrumented(cfg, _synth(1500), tracer=tr_s)
+    run_sharded(cfg, partial(_synth, 1500), 3, tracer=tr_p)
+    key = lambda s: (s.time, s.pid, s.kind, s.value)  # noqa: E731
+    assert sorted(tr_p.samples, key=key) == sorted(tr_s.samples, key=key)
+    # merged stream itself is (time, pid)-sorted for downstream analyzers
+    order = [(s.time, s.pid) for s in tr_p.samples]
+    assert order == sorted(order)
+
+
+# -- property: randomized configs -------------------------------------------
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(proto=st.sampled_from(["TD", "BTD", "TR", "RWS"]),
+       n=st.integers(min_value=4, max_value=12),
+       shards=st.integers(min_value=2, max_value=4),
+       seed=st.integers(min_value=0, max_value=200),
+       crash=st.booleans())
+def test_property_serial_equals_sharded(proto, n, shards, seed, crash):
+    faults = (FaultPlan(crashes=((n - 1, 5e-4),), loss=0.02, dup=0.01)
+              if crash else None)
+    cfg = RunConfig(protocol=proto, n=n, dmax=3, quantum=16, seed=seed,
+                    jitter=1.5, faults=faults)
+    assert_bit_identical(cfg, partial(_synth, 1500), shards)
