@@ -65,6 +65,12 @@ TOLERANCES = {
     # stall or broken barrier shows up as a collapse
     "shard_td_synth_eq_per_s": 0.5,
     "shard_serial_td_synth_eq_per_s": 0.4,
+    # fault-layer rates (BENCH_faults.json baseline): whole faulted runs
+    # (partition-then-heal, gray peer) — the gate is for a routing stall
+    # (a breaker that never closes, a wave that spins until abort), not
+    # wall-clock drift, so the bands are generous
+    "faults_partition_units_per_wall_s": 0.5,
+    "faults_gray_units_per_wall_s": 0.5,
 }
 DEFAULT_TOLERANCE = 0.25
 

@@ -249,19 +249,21 @@ def harness(jobs=0):
     print(f"wrote {out}")
 
 
-def faults():
-    """Overhead of the fault layer: null-plan bit-identity + loss curve."""
+def faults(out=None):
+    """Overhead of the fault layer: null-plan bit-identity, loss curve,
+    partition-then-heal and gray-failure cells (the last two gated)."""
     from repro.experiments.runner import RunConfig, run_once
     from repro.experiments.specs import UTSSpec
     from repro.sim.faults import FaultPlan
     from repro.uts.params import PRESETS
 
     spec = UTSSpec(PRESETS["bin_tiny"].params)
+    _eq_rate, calib_rate = gated_rates()
 
-    def cell(plan):
+    def cell(plan, **cfg_kwargs):
         def run():
             cfg = RunConfig(protocol="BTD", n=16, quantum=64, seed=42,
-                            faults=plan)
+                            faults=plan, **cfg_kwargs)
             return run_once(cfg, spec.build())
         return best_of(run, repeats=3)
 
@@ -283,16 +285,59 @@ def faults():
             "retransmits": res.retransmits,
         }
 
+    # partition-then-heal: islands {0..7} | {8..15} cut for 6 virtual ms,
+    # tight breaker pacing so routing-around engages inside the window
+    pacing = {"ack_timeout": 5e-4, "breaker_threshold": 3}
+    part_plan = FaultPlan(partitions=((tuple(range(8, 16)), 1e-3, 7e-3),))
+    part, part_s = cell(part_plan, **pacing)
+    assert part.total_units == clean.total_units, \
+        "a healed partition must not lose work"
+    assert part.breaker_opens > 0, \
+        "the partition cell must exercise the circuit breaker"
+    partition = {
+        "wall_s": round(part_s, 4),
+        "wall_ratio": round(part_s / clean_s, 2),
+        "makespan_ratio": round(part.makespan / clean.makespan, 2),
+        "dropped": part.msgs_lost,
+        "breaker_opens": part.breaker_opens,
+    }
+
+    # gray failure: pid 8 computes 8x slower behind flaky 4x-delay links
+    gray_fp = FaultPlan(slowdowns=((8, 0.0, 8e-3, 8.0),),
+                        gray_links=((None, 8, 0.0, 8e-3, 4.0, 0.5),
+                                    (8, None, 0.0, 8e-3, 4.0, 0.5)))
+    gray, gray_s = cell(gray_fp, **pacing)
+    assert gray.total_units == clean.total_units, \
+        "a gray peer is alive: no work may be lost"
+    gray_row = {
+        "wall_s": round(gray_s, 4),
+        "wall_ratio": round(gray_s / clean_s, 2),
+        "makespan_ratio": round(gray.makespan / clean.makespan, 2),
+        "dropped": gray.msgs_lost,
+        "breaker_opens": gray.breaker_opens,
+        "retransmits": gray.retransmits,
+    }
+
+    after = {
+        "faults_partition_units_per_wall_s": round(part.total_units
+                                                   / part_s),
+        "faults_gray_units_per_wall_s": round(gray.total_units / gray_s),
+    }
     report = {
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "calibration_ops_per_s": round(calib_rate),
         "clean_wall_s": round(clean_s, 4),
         "null_plan_wall_s": round(null_s, 4),
         "null_plan_wall_ratio": round(null_s / clean_s, 2),
         "null_plan_bit_identical": True,
         "loss_curve": curve,
+        "partition": partition,
+        "gray": gray_row,
+        "metrics": {name: {"after": value} for name, value in after.items()},
     }
-    out = pathlib.Path(__file__).with_name("BENCH_faults.json")
+    out = (pathlib.Path(out) if out
+           else pathlib.Path(__file__).with_name("BENCH_faults.json"))
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"clean      {clean_s:8.4f}s")
     print(f"null plan  {null_s:8.4f}s ({report['null_plan_wall_ratio']:.2f}x,"
@@ -302,6 +347,11 @@ def faults():
               f"({row['wall_ratio']:.2f}x wall, "
               f"{row['makespan_ratio']:.2f}x makespan, "
               f"{row['retransmits']} rexmit)")
+    print(f"partition  {part_s:8.4f}s ({partition['makespan_ratio']:.2f}x "
+          f"makespan, {partition['dropped']} dropped, "
+          f"{partition['breaker_opens']} breaker trips)")
+    print(f"gray peer  {gray_s:8.4f}s ({gray_row['makespan_ratio']:.2f}x "
+          f"makespan, {gray_row['breaker_opens']} breaker trips)")
     print(f"wrote {out}")
 
 
@@ -569,7 +619,7 @@ def main(argv=None):
     if args.mode == "harness":
         harness(args.jobs)
     elif args.mode == "faults":
-        faults()
+        faults(out=args.out)
     elif args.mode == "live":
         live_backend(quick=args.quick, out=args.out)
     elif args.mode == "scale":

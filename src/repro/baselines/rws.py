@@ -59,10 +59,12 @@ class RWSWorker(WorkerProcess):
         if self.terminated or self.steal_outstanding or self.n == 1:
             self._root_check()
             return
-        if self._reliable is not None and self.dead:
-            live = [p for p in range(self.n)
-                    if p != self.pid and p not in self.dead]
+        if self._reliable is not None and (self.dead or self.suspect):
+            live = [p for p in range(self.n) if p != self.pid
+                    and p not in self.dead and p not in self.suspect]
             if not live:
+                # everyone else dead or routed around: wait — a recovery
+                # (on_peer_recovered) or a death re-enters on_idle
                 self._root_check()
                 return
             victim = live[self.rng.randrange(len(live))]
@@ -139,6 +141,24 @@ class RWSWorker(WorkerProcess):
             if (not self.terminated and self.work.is_empty()
                     and not self.cpu_busy):
                 self.on_idle()
+
+    def on_peer_suspected(self, pid: int) -> None:
+        # the victim is alive but routed around: abandon the outstanding
+        # steal and retry at a reachable peer (the parked request resolves
+        # after the heal; a late NACK/WORK is absorbed normally)
+        if pid == self._steal_target:
+            self._steal_target = -1
+            self.steal_outstanding = False
+            if (not self.terminated and self.work.is_empty()
+                    and not self.cpu_busy):
+                self.on_idle()
+
+    def on_peer_recovered(self, pid: int) -> None:
+        if (not self.terminated and not self.steal_outstanding
+                and self.work.is_empty() and not self.cpu_busy):
+            self.on_idle()
+        else:
+            self._root_check()
 
     def gossip_targets(self) -> list[int]:
         """Bound diffusion over the detection tree (log-diameter, cheap)."""

@@ -190,7 +190,8 @@ class OverlayWorker(WorkerProcess):
                       body_bytes=8)
         if self.probe_target is None:
             candidates = [c for c in self.children
-                          if c not in self.R and c not in self.probed]
+                          if c not in self.R and c not in self.probed
+                          and c not in self.suspect]
             if candidates:
                 self.probe_target = self.rng.choice(candidates)
                 self.probed.add(self.probe_target)
@@ -406,9 +407,34 @@ class OverlayWorker(WorkerProcess):
         if not self.terminated and self.ready:
             self._search()
 
+    def on_peer_suspected(self, pid: int) -> None:
+        """Circuit breaker opened on ``pid``: stop waiting on it. The
+        suspect keeps its queued requests (it is alive; serving it later
+        is correct) but stops being a probe or bridge target."""
+        if self.bridged and pid == self.bridge_target:
+            self.bridge_outstanding = False
+            self.bridge_target = self._pick_live_bridge()
+        if self.probe_target == pid:
+            self.probe_target = None
+        if not self.terminated and self.ready:
+            self._search()
+
+    def on_peer_recovered(self, pid: int) -> None:
+        """Breaker closed: ``pid`` is fair game again; re-enter the search
+        (and let the root resume verification waves)."""
+        if not self.terminated and self.ready:
+            self._search()
+        self._root_check()
+
     def _pick_live_bridge(self) -> Optional[int]:
         live = [p for p in range(self.tree.n)
-                if p != self.pid and p not in self.dead]
+                if p != self.pid and p not in self.dead
+                and p not in self.suspect]
+        if not live:
+            # everyone else is dead or routed around; fall back to the
+            # dead-exclusion set so a later recovery can still serve us
+            live = [p for p in range(self.tree.n)
+                    if p != self.pid and p not in self.dead]
         if not live:
             return None
         if self._bridge_rng is None:

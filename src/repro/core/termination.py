@@ -124,6 +124,15 @@ class TerminationWaves:
         """Root: start a verification wave if none is in flight."""
         if not self.is_root or self._collecting or self.terminated:
             return
+        if getattr(self.host, "suspect", None):
+            # island-safety: peers routed around by a circuit breaker are
+            # alive but unreachable (partition, gray link) — a wave now
+            # could not cover them and would only churn until abort. Keep
+            # the retry timer alive instead; it re-enters here until the
+            # suspicion resolves (heal via peer_recovered, or death).
+            self._backoff = min(self._backoff * 2.0, 64.0)
+            self._schedule_retry()
+            return
         if not self.should_wave():
             return
         self.wave_seq += 1

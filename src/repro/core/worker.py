@@ -68,6 +68,13 @@ class WorkerConfig:
     speed: float = 1.0           # relative CPU speed (heterogeneity knob)
     ack_timeout: float = 2e-3    # reliable-channel base retransmit delay
     ack_retries: int = 5         # backoff doublings before the delay caps
+    #: hard ceiling on any retransmit/probe backoff delay; None keeps the
+    #: legacy ceiling of ack_timeout * 2^ack_retries
+    ack_max_backoff: Optional[float] = None
+    #: consecutive retransmit timeouts against one peer before its circuit
+    #: breaker opens (the peer is then routed around until a heartbeat
+    #: probe succeeds); 0 disables circuit breaking
+    breaker_threshold: int = 4
 
 
 class WorkerProcess(SimProcess):
@@ -103,11 +110,19 @@ class WorkerProcess(SimProcess):
         # FaultPlan is active (self._reliable is then non-None)
         self._reliable: Optional[ReliableChannel] = None
         self.dead: set[int] = set()
+        #: peers currently routed around by the channel's circuit breaker
+        #: (alive but unreachable/unresponsive — partitions, gray links);
+        #: strictly disjoint from ``dead``: nothing is recovered or spliced
+        #: for a suspect, and the dead-set waves never count one as dead
+        self.suspect: set[int] = set()
         self.sent_to: dict[int, int] = {}    # pid -> WORK messages sent
         self.recv_from: dict[int, int] = {}  # pid -> WORK messages received
         #: WORK pieces from crashed peers that arrived after termination;
         #: dropped from the run but kept for the conservation accounting
         self.crash_dropped: list[WorkItem] = []
+        # gray-failure compute slowdown (set in start() when the plan
+        # targets this pid); one dead branch per quantum otherwise
+        self._gray_slow = False
 
     # -- protocol hooks ---------------------------------------------------------
 
@@ -179,12 +194,28 @@ class WorkerProcess(SimProcess):
     def on_peer_dead(self, pid: int) -> None:
         """Protocol-specific cleanup for a crashed peer (any role)."""
 
+    def on_peer_suspected(self, pid: int) -> None:
+        """Protocol hook: route around ``pid`` until it recovers."""
+
+    def on_peer_recovered(self, pid: int) -> None:
+        """Protocol hook: ``pid`` answered the breaker probe — re-include."""
+
     # -- lifecycle -----------------------------------------------------------------
 
     def start(self) -> None:
-        if self.sim.faults is not None:
-            self._reliable = ReliableChannel(self, self.cfg.ack_timeout,
-                                             self.cfg.ack_retries)
+        fc = self.sim.faults
+        if fc is not None:
+            self._reliable = ReliableChannel(
+                self, self.cfg.ack_timeout, self.cfg.ack_retries,
+                max_backoff=self.cfg.ack_max_backoff,
+                breaker_threshold=self.cfg.breaker_threshold)
+            # a gray-slowed pid opts out of quantum fusion: a fused block
+            # cannot observe a slowdown window opening or closing mid-block
+            # (the live runtime's LiveFaults has no slowdown machinery)
+            if getattr(fc, "plan", None) is not None \
+                    and fc.has_slowdown(self.pid):
+                self._fusible = False
+                self._gray_slow = True
         m = self.sim.metrics
         if m is not None:
             from ..obs.registry import SIZE_EDGES
@@ -245,6 +276,8 @@ class WorkerProcess(SimProcess):
             duration = 0.0
         else:
             duration = outcome.units * self.app.unit_cost / self.cfg.speed
+            if self._gray_slow:
+                duration *= self.sim.faults.slow_factor(self.pid, self.now)
             st.busy_time += duration
             sim = self.sim
             if (sim._fuse_active and self._fusible
@@ -557,11 +590,27 @@ class WorkerProcess(SimProcess):
         if recovered and not self._cpu_busy and not self.terminated:
             self._drain()  # the recovered work restarts the compute loop
 
+    def peer_suspected(self, pid: int) -> None:
+        """The channel's circuit breaker opened on ``pid``: exclude it from
+        victim selection and overlay re-picks until the probe succeeds."""
+        if pid in self.suspect or pid in self.dead:
+            return
+        self.suspect.add(pid)
+        self.on_peer_suspected(pid)
+
+    def peer_recovered(self, pid: int) -> None:
+        """The breaker probe got through: ``pid`` is reachable again."""
+        if pid not in self.suspect:
+            return
+        self.suspect.discard(pid)
+        self.on_peer_recovered(pid)
+
     def learn_dead(self, pid: int, relay: bool = True) -> None:
         """Absorb the (true) fact that ``pid`` crashed; idempotent."""
         if pid == self.pid or pid in self.dead:
             return
         self.dead.add(pid)
+        self.suspect.discard(pid)  # the suspicion resolved into a death
         self._react_dead(pid)
         if relay:
             p = self._repair_parent()

@@ -104,7 +104,8 @@ def _faults_desc(cfg: RunConfig) -> tuple:
         # a null plan runs the exact clean code path; share its entries
         return ("clean",)
     f = cfg.faults
-    return (f.crashes, f.loss, f.dup, f.blackouts)
+    return (f.crashes, f.loss, f.dup, f.blackouts, f.partitions,
+            f.slowdowns, f.gray_links)
 
 
 def cell_key(cfg: RunConfig, spec) -> str:
@@ -116,6 +117,7 @@ def cell_key(cfg: RunConfig, spec) -> str:
         cfg.protocol, cfg.n, cfg.dmax, cfg.sharing, cfg.quantum, cfg.seed,
         cfg.handler_cost, cfg.jitter, cfg.mw_update_every, cfg.max_events,
         cfg.speed_spread, cfg.speed_placement, cfg.fuse,
+        cfg.ack_timeout, cfg.ack_max_backoff, cfg.breaker_threshold,
         _network_desc(cfg), _oclb_desc(cfg), _faults_desc(cfg),
     )
     return hashlib.sha256(repr(payload).encode()).hexdigest()

@@ -15,6 +15,15 @@ termination waves), and here we quantify the price:
   checkpointing), so completed units drop accordingly; the interesting
   outputs are that every surviving node terminates, how many overlay
   repairs the healing needed, and the makespan degradation.
+* **partition sweep** — split the fleet into two islands for windows of
+  increasing length, then heal. No work is ever lost (partitions kill
+  links, not nodes), so the cost is pure makespan: stalled cross-cut
+  steals, circuit breakers routing around unreachable peers, and
+  termination waves held back until the heal (island safety).
+* **gray failure** — one slow-but-alive peer (compute slowdown + flaky,
+  inflated links both ways). The channel's circuit breaker must trip and
+  route around it instead of retrying forever; the cell reports the trips
+  and the bounded makespan degradation.
 
 TD (pure tree), BTD (bridged) and the RWS baseline run the same sweeps;
 bridges and random victim choice give BTD/RWS alternative escape routes
@@ -30,6 +39,30 @@ from .report import render_table
 
 PROTOS = ("TD", "BTD", "RWS")
 LOSS_SWEEP = (0.0, 0.05, 0.1, 0.2)
+
+#: Partition window lengths (virtual seconds). Windows open at 1 ms —
+#: safely inside bin_tiny's ~13 ms makespan — and the long window forces
+#: breakers open before the heal.
+PARTITION_SWEEP = (2e-3, 6e-3)
+
+#: Channel pacing for the partition/gray cells: a tight retransmit base
+#: so the breaker ladder (t, 2t, 4t, ...) trips well inside the window.
+BREAKER_PACING = {"ack_timeout": 5e-4, "breaker_threshold": 3}
+
+
+def partition_plan(n: int, length: float) -> FaultPlan:
+    """Split ``range(n)`` down the middle for ``[1 ms, 1 ms + length)``."""
+    side = tuple(range(n // 2, n))
+    return FaultPlan(partitions=((side, 1e-3, 1e-3 + length),))
+
+
+def gray_plan(n: int) -> FaultPlan:
+    """One gray peer: 8x compute slowdown + flaky 4x-delay links."""
+    pid = n // 2
+    return FaultPlan(
+        slowdowns=((pid, 0.0, 8e-3, 8.0),),
+        gray_links=((None, pid, 0.0, 8e-3, 4.0, 0.5),
+                    (pid, None, 0.0, 8e-3, 4.0, 0.5)))
 
 
 def crash_sweep(n: int) -> tuple[int, ...]:
@@ -73,6 +106,25 @@ def run(scale: Scale) -> ExperimentReport:
                          label=f"faults {proto} crashes={k}",
                          protocol=proto, n=n, dmax=10,
                          quantum=scale.uts_quantum, faults=plan)
+            # partition/gray cells share one clean twin at breaker pacing
+            grid.add((proto, "part", 0.0), spec,
+                     trials=scale.scaling_trials,
+                     label=f"faults {proto} partition=clean",
+                     protocol=proto, n=n, dmax=10,
+                     quantum=scale.uts_quantum, **BREAKER_PACING)
+            for dur in PARTITION_SWEEP:
+                grid.add((proto, "part", dur), spec,
+                         trials=scale.scaling_trials,
+                         label=f"faults {proto} partition={dur * 1e3:g}ms",
+                         protocol=proto, n=n, dmax=10,
+                         quantum=scale.uts_quantum,
+                         faults=partition_plan(n, dur), **BREAKER_PACING)
+            grid.add((proto, "gray"), spec,
+                     trials=scale.scaling_trials,
+                     label=f"faults {proto} gray peer",
+                     protocol=proto, n=n, dmax=10,
+                     quantum=scale.uts_quantum, faults=gray_plan(n),
+                     **BREAKER_PACING)
         grid.run()
 
         loss_rows = []
@@ -109,16 +161,40 @@ def run(scale: Scale) -> ExperimentReport:
             title=f"-- survivability vs crash count (n={n}) --",
             digits=2))
 
+        part_rows = []
+        for proto in PROTOS:
+            base = grid.stats((proto, "part", 0.0)).t_avg
+            for dur in (0.0,) + PARTITION_SWEEP:
+                ts = grid.stats((proto, "part", dur))
+                r = ts.results[0]
+                part_rows.append([
+                    proto, dur * 1e3, ts.t_avg * 1e3, ts.t_avg / base,
+                    r.msgs_lost, r.breaker_opens,
+                ])
+            ts = grid.stats((proto, "gray"))
+            r = ts.results[0]
+            part_rows.append([
+                proto, "gray", ts.t_avg * 1e3, ts.t_avg / base,
+                r.msgs_lost, r.breaker_opens,
+            ])
+        report.sections.append(render_table(
+            ["proto", "cut ms", "t (ms)", "overhead", "dropped", "breaker"],
+            part_rows,
+            title=f"-- partitions and gray failures (n={n}) --",
+            digits=3))
+
         worst = min(r[3] for r in crash_rows)
         report.sections.append(
             f"every run terminated cleanly; the heaviest crash load still "
             f"completed {worst:.1f}% of the tree (the rest died unexplored "
-            "with its owners — crash-stop, no checkpoints)")
+            "with its owners — crash-stop, no checkpoints); partitioned and "
+            "gray runs lost no work at all (link faults, not node faults)")
         report.data = {"loss_rows": loss_rows, "crash_rows": crash_rows,
-                       "n": n}
+                       "part_rows": part_rows, "n": n}
         return report
 
     return timed(build)
 
 
-__all__ = ["run", "LOSS_SWEEP", "crash_sweep", "PROTOS"]
+__all__ = ["run", "LOSS_SWEEP", "PARTITION_SWEEP", "crash_sweep",
+           "gray_plan", "partition_plan", "PROTOS"]

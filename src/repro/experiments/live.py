@@ -15,7 +15,10 @@ identical schema, with ``meta.live: true``).
 
 Fault injection is real: ``--kill PID@0.5s`` SIGKILLs a worker half a
 second after start, ``--kill PID@500u`` once its write-ahead spool shows
-500 processed units (deterministic enough for CI).  With
+500 processed units (deterministic enough for CI), and
+``--partition 2,3@0.2-1.2s`` cuts workers 2 and 3 off from the rest of
+the fleet for a wall-clock window (the supervisor's router drops every
+``msg`` frame crossing the cut) before healing.  With
 ``--expect-conserved`` the exit status asserts the exact work-conservation
 identity over survivors + spools; with ``--compare-sim`` the run is
 cross-checked against the discrete-event simulator (equal UTS node
@@ -40,6 +43,7 @@ LIVE_PROTOCOLS = tuple(p for p in PROTOCOLS
                        if p in ("TD", "BTD", "TR", "BTR", "RWS"))
 
 _KILL_RE = re.compile(r"^(\d+)@(\d+(?:\.\d+)?)(s|u)$")
+_PART_RE = re.compile(r"^(\d+(?:,\d+)*)@(\d+(?:\.\d+)?)-(\d+(?:\.\d+)?)s$")
 
 
 def parse_kill(text: str) -> dict:
@@ -52,6 +56,25 @@ def parse_kill(text: str) -> dict:
     if unit == "s":
         return {"pid": pid, "after_s": float(value)}
     return {"pid": pid, "after_units": int(float(value))}
+
+
+def parse_partition(text: str) -> dict:
+    """``PIDS@<start>-<end>s``: isolate PIDS for that wall-clock window.
+
+    ``2,3@0.2-1.2s`` cuts workers 2 and 3 off from the rest of the fleet
+    between 0.2 s and 1.2 s after ``go`` (the supervisor's router drops
+    every ``msg`` frame crossing the cut), then heals.
+    """
+    m = _PART_RE.match(text)
+    if not m:
+        raise argparse.ArgumentTypeError(
+            f"bad --partition spec {text!r} (want e.g. 2,3@0.2-1.2s)")
+    side = [int(p) for p in m.group(1).split(",")]
+    t0, t1 = float(m.group(2)), float(m.group(3))
+    if t0 >= t1:
+        raise argparse.ArgumentTypeError(
+            f"--partition window must have start < end: {text!r}")
+    return {"side": side, "start_s": t0, "end_s": t1}
 
 
 def add_live_arguments(parser: argparse.ArgumentParser) -> None:
@@ -83,6 +106,12 @@ def add_live_arguments(parser: argparse.ArgumentParser) -> None:
                         default=[], metavar="PID@SPEC",
                         help="SIGKILL a worker: 2@0.5s (wall delay) or "
                              "2@500u (after spooled units); implies "
+                             "--fault-tolerance")
+    parser.add_argument("--partition", action="append",
+                        type=parse_partition, default=[],
+                        metavar="PIDS@T0-T1s",
+                        help="cut a set of workers off for a wall-clock "
+                             "window, then heal: 2,3@0.2-1.2s; implies "
                              "--fault-tolerance")
     parser.add_argument("--expect-conserved", action="store_true",
                         help="fail unless the work-conservation identity "
@@ -149,8 +178,9 @@ def live_main(argv: Optional[list] = None) -> int:
         sharing=args.sharing, quantum=args.quantum, seed=args.seed,
         transport=args.transport, port=args.port, run_dir=args.run_dir,
         trace=want_trace, timeout_s=args.timeout,
-        fault_tolerance=args.fault_tolerance or bool(args.kill),
-        kills=tuple(args.kill))
+        fault_tolerance=(args.fault_tolerance or bool(args.kill)
+                         or bool(args.partition)),
+        kills=tuple(args.kill), partitions=tuple(args.partition))
     try:
         live = run_live(cfg)
     except LiveAborted as exc:
@@ -220,4 +250,5 @@ def live_main(argv: Optional[list] = None) -> int:
     return 1 if failures else 0
 
 
-__all__ = ["LIVE_PROTOCOLS", "add_live_arguments", "live_main", "parse_kill"]
+__all__ = ["LIVE_PROTOCOLS", "add_live_arguments", "live_main", "parse_kill",
+           "parse_partition"]

@@ -71,6 +71,12 @@ class RunConfig:
     #: simulator, wall seconds in the live runtime, which overrides the
     #: default with socket-scale pacing)
     ack_timeout: float = 2e-3
+    #: hard ceiling on the reliable channel's retransmit/probe backoff;
+    #: None keeps the legacy ceiling of ack_timeout * 2^retries
+    ack_max_backoff: Optional[float] = None
+    #: consecutive retransmit timeouts before a peer's circuit breaker
+    #: opens (routed around until a probe succeeds); 0 disables breaking
+    breaker_threshold: int = 4
     #: quantum fusion (macro events): far fewer engine events at scale,
     #: bit-identical results up to the ordering of exactly-simultaneous
     #: events (docs/simulation.md, "Scaling to 10^4 nodes"); False
@@ -89,6 +95,10 @@ class RunConfig:
         if self.speed_placement not in ("random", "fast-interior"):
             raise SimConfigError(
                 f"unknown speed placement {self.speed_placement!r}")
+        if self.breaker_threshold < 0:
+            raise SimConfigError("breaker_threshold must be >= 0")
+        if self.ack_max_backoff is not None and self.ack_max_backoff <= 0:
+            raise SimConfigError("ack_max_backoff must be positive")
         if (self.faults is not None and not self.faults.is_null()
                 and self.protocol in ("MW", "AHMW", "LIFELINE")):
             # only the peer protocols carry the self-healing machinery;
@@ -128,6 +138,7 @@ class ExperimentResult:
     retransmits: int = 0
     crashes: int = 0
     repairs: int = 0
+    breaker_opens: int = 0             # circuit-breaker trips fleet-wide
 
     def efficiency(self, t_seq: float, workers: Optional[int] = None) -> float:
         """Parallel efficiency vs a sequential reference time."""
@@ -163,7 +174,9 @@ def worker_factory(cfg: RunConfig,
 
     def wc_for(p: int) -> WorkerConfig:
         return WorkerConfig(quantum=cfg.quantum, seed=cfg.seed,
-                            speed=speeds[p], ack_timeout=cfg.ack_timeout)
+                            speed=speeds[p], ack_timeout=cfg.ack_timeout,
+                            ack_max_backoff=cfg.ack_max_backoff,
+                            breaker_threshold=cfg.breaker_threshold)
 
     proto, n = cfg.protocol, cfg.n
     if proto in ("TD", "BTD", "TR", "BTR"):
@@ -269,6 +282,7 @@ def run_instrumented(cfg: RunConfig, app: Application, tracer=None,
         retransmits=rexmit,
         crashes=crashes,
         repairs=repairs,
+        breaker_opens=stats.total_breaker_opens(),
     )
     return result, stats
 

@@ -22,7 +22,7 @@ from typing import Optional
 from ..experiments.report import banner, fmt, render_table
 from ..experiments.runner import ExperimentResult, RunConfig
 from ..sim.stats import RunStats
-from ..sim.trace import QUANTUM, TRANSFER, Tracer
+from ..sim.trace import CIRCUIT, QUANTUM, TRANSFER, Tracer
 from .registry import MetricsRegistry
 
 #: JSON summary schema; bump on incompatible shape changes.
@@ -51,6 +51,47 @@ def load_entropy(units: list[int]) -> Optional[float]:
     return h / math.log(len(units))
 
 
+def breaker_summary(tracer: Tracer, makespan: float) -> list[dict]:
+    """Per-(owner, peer) circuit-breaker history from CIRCUIT samples.
+
+    CIRCUIT samples encode transitions as ``value = peer * 4 + state``
+    (0 closed / 1 open / 2 half-open) on the breaker owner's timeline
+    (:mod:`repro.sim.trace`). Folding them back out makes routed-around
+    peers visible in run reports: how often each breaker tripped
+    (``opens``), how many half-open probes it sent (``probes``), the total
+    time the peer spent routed around (``open_s`` — a still-open breaker
+    accrues until ``makespan``), and the state it ended the run in.
+    """
+    hist: dict[tuple[int, int], dict] = {}
+    for s in sorted((s for s in tracer.samples if s.kind == CIRCUIT),
+                    key=lambda s: s.time):
+        peer, state = divmod(int(s.value), 4)
+        row = hist.setdefault((s.pid, peer), {
+            "owner": s.pid, "peer": peer, "opens": 0, "probes": 0,
+            "open_s": 0.0, "state": "closed", "_opened_at": None})
+        if state == 1:                      # -> open (trip or failed probe)
+            if row["_opened_at"] is None:
+                row["opens"] += 1
+                row["_opened_at"] = s.time
+            row["state"] = "open"
+        elif state == 2:                    # -> half-open (probe in flight)
+            row["probes"] += 1
+            row["state"] = "half-open"
+        else:                               # -> closed (probe answered)
+            if row["_opened_at"] is not None:
+                row["open_s"] += s.time - row["_opened_at"]
+                row["_opened_at"] = None
+            row["state"] = "closed"
+    out = []
+    for key in sorted(hist):
+        row = hist[key]
+        opened_at = row.pop("_opened_at")
+        if opened_at is not None:           # never closed: accrue to the end
+            row["open_s"] += max(0.0, makespan - opened_at)
+        out.append(row)
+    return out
+
+
 def steal_matrix(tracer: Tracer) -> dict[tuple[int, int], int]:
     """(src, dst) -> number of WORK transfers, from TRANSFER samples."""
     matrix: dict[tuple[int, int], int] = {}
@@ -74,6 +115,7 @@ class RunReport:
     transfers: list[dict] = field(default_factory=list)
     utilization: list[dict] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
+    breakers: list[dict] = field(default_factory=list)
 
     # -- structured form -----------------------------------------------------
 
@@ -90,6 +132,7 @@ class RunReport:
             "transfers": self.transfers,
             "utilization": self.utilization,
             "metrics": self.metrics,
+            "breakers": self.breakers,
         }
 
     # -- human form ----------------------------------------------------------
@@ -138,7 +181,15 @@ class RunReport:
             parts.append(
                 f"faults: {f['crashes']} crashes | {f['msgs_lost']} lost | "
                 f"{f['msgs_duplicated']} duplicated | "
-                f"{f['retransmits']} retransmits | {f['repairs']} repairs")
+                f"{f['retransmits']} retransmits | {f['repairs']} repairs | "
+                f"{f.get('breaker_opens', 0)} breaker trips")
+        if self.breakers:
+            parts.append("")
+            parts.append(render_table(
+                ["owner", "peer", "opens", "probes", "open ms", "state"],
+                [[b["owner"], b["peer"], b["opens"], b["probes"],
+                  b["open_s"] * 1e3, b["state"]] for b in self.breakers],
+                title="circuit breakers (routed-around peers)", digits=2))
         if self.transfers:
             parts.append("")
             parts.append(render_table(
@@ -244,11 +295,14 @@ def build_report(cfg: RunConfig, result: ExperimentResult, stats: RunStats,
         "msgs_duplicated": result.msgs_duplicated,
         "retransmits": result.retransmits,
         "repairs": result.repairs,
+        "breaker_opens": result.breaker_opens,
     }
 
     transfers: list[dict] = []
     utilization: list[dict] = []
+    breakers: list[dict] = []
     if tracer is not None:
+        breakers = breaker_summary(tracer, makespan)
         matrix = steal_matrix(tracer)
         edges = sorted(matrix.items(), key=lambda kv: (-kv[1], kv[0]))
         if cfg.n > _MATRIX_LIMIT and len(edges) > _MATRIX_LIMIT:
@@ -266,8 +320,8 @@ def build_report(cfg: RunConfig, result: ExperimentResult, stats: RunStats,
                      idle_breakdown=idle_breakdown, faults=faults,
                      transfers=transfers, utilization=utilization,
                      metrics=metrics.snapshot() if metrics is not None
-                     else {})
+                     else {}, breakers=breakers)
 
 
-__all__ = ["REPORT_SCHEMA_VERSION", "RunReport", "build_report",
-           "load_entropy", "steal_matrix"]
+__all__ = ["REPORT_SCHEMA_VERSION", "RunReport", "breaker_summary",
+           "build_report", "load_entropy", "steal_matrix"]

@@ -49,7 +49,7 @@ from ..obs.export import TraceWriter
 from ..obs.registry import MetricsRegistry
 from ..sim.errors import SimConfigError, SimRuntimeError
 from ..sim.stats import RunStats
-from ..sim.trace import CRASH
+from ..sim.trace import CRASH, PARTITION
 from .codec import stats_from_wire
 from .spool import conserved_units_live, read_spool, spool_path
 from .transport import (FramedConnection, open_listener, unlink_quietly)
@@ -91,12 +91,25 @@ class LiveConfig:
     #: ``{"pid": p, "after_units": u}`` (kill once p's spool shows >= u
     #: processed units — the deterministic choice for tests/CI)
     kills: tuple = ()
+    #: planned network partitions: each ``{"side": [pids], "start_s": t0,
+    #: "end_s": t1}`` (wall seconds after ``go``).  While a window is
+    #: active the supervisor's router drops every ``msg`` frame crossing
+    #: the cut — iptables-free splits at the transport layer.  Control
+    #: frames (``go``/``dead``/``shutdown``) always flow: the supervisor
+    #: itself is never partitioned from its workers, only workers from
+    #: each other, so death announcements and spool recovery keep the
+    #: ``kill -9`` guarantee across splits.
+    partitions: tuple = ()
     timeout_s: float = 120.0
     #: live pacing overrides forwarded to the workers (None = the live
     #: defaults in :mod:`repro.runtime.worker`)
     ack_timeout: Optional[float] = None
     wave_retry: Optional[float] = None
     probe_retry: Optional[float] = None
+    #: reliable-channel breaker overrides (None = the worker defaults:
+    #: legacy backoff ceiling, threshold 4)
+    ack_max_backoff: Optional[float] = None
+    breaker_threshold: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -114,6 +127,30 @@ class LiveConfig:
         if self.kills and not self.fault_tolerance:
             raise SimConfigError(
                 "planned kills require fault_tolerance=True")
+        for p in self.partitions:
+            side = p.get("side")
+            if (not isinstance(side, (list, tuple)) or not side
+                    or any(not isinstance(q, int) or not (0 <= q < self.n)
+                           for q in side)):
+                raise SimConfigError(
+                    f"partition side must be a nonempty list of pids < n, "
+                    f"got {p!r}")
+            uniq = set(side)
+            if len(uniq) != len(side):
+                raise SimConfigError(f"partition side has duplicates: {p!r}")
+            if len(uniq) >= self.n:
+                raise SimConfigError(
+                    f"partition side must leave the other island nonempty "
+                    f"(n={self.n}): {p!r}")
+            t0, t1 = p.get("start_s"), p.get("end_s")
+            if (not isinstance(t0, (int, float))
+                    or not isinstance(t1, (int, float))
+                    or not 0 <= t0 < t1):
+                raise SimConfigError(
+                    f"partition needs 0 <= start_s < end_s: {p!r}")
+        if self.partitions and not self.fault_tolerance:
+            raise SimConfigError(
+                "planned partitions require fault_tolerance=True")
 
     def run_config(self) -> RunConfig:
         """The equivalent simulator configuration (cross-validation)."""
@@ -160,7 +197,8 @@ def _worker_json(cfg: LiveConfig, pid: int, endpoint: dict,
     run: dict = {"protocol": cfg.protocol, "n": cfg.n, "dmax": cfg.dmax,
                  "sharing": cfg.sharing, "quantum": cfg.quantum,
                  "seed": cfg.seed}
-    for name in ("ack_timeout", "wave_retry", "probe_retry"):
+    for name in ("ack_timeout", "wave_retry", "probe_retry",
+                 "ack_max_backoff", "breaker_threshold"):
         v = getattr(cfg, name)
         if v is not None:
             run[name] = v
@@ -225,6 +263,21 @@ def run_live(cfg: LiveConfig) -> LiveResult:
     reports: dict[int, dict] = {}
     hellos = 0
     shutdown_sent = False
+    # precomputed partition windows; dropped[i] counts frames rule i ate
+    part_windows = tuple((frozenset(p["side"]), p["start_s"], p["end_s"])
+                         for p in cfg.partitions)
+    part_dropped = [0] * len(part_windows)
+
+    def partition_cut(src: int, dst: int) -> bool:
+        """Does an active partition window sever the (src, dst) link?"""
+        if t_go is None or not part_windows:
+            return False
+        t = time.monotonic() - t_go
+        for i, (side, t0, t1) in enumerate(part_windows):
+            if t0 <= t < t1 and (src in side) != (dst in side):
+                part_dropped[i] += 1
+                return True
+        return False
 
     def broadcast(frame: dict, skip: int = -1) -> None:
         for w in workers:
@@ -244,6 +297,8 @@ def run_live(cfg: LiveConfig) -> LiveResult:
         for frame in w.conn.receive():
             t = frame.get("t")
             if t == "msg":
+                if partition_cut(frame["src"], frame["dst"]):
+                    continue   # severed link: the frame dies at the router
                 dst = workers[frame["dst"]]
                 if (dst.conn is not None and not dst.dead
                         and not dst.closed):
@@ -403,7 +458,7 @@ def run_live(cfg: LiveConfig) -> LiveResult:
 
     return _assemble(cfg, run_dir, workers, reports, killed,
                      t_go_epoch if t_go_epoch is not None else time.time(),
-                     time.monotonic() - t_start)
+                     time.monotonic() - t_start, sum(part_dropped))
 
 
 def _reap(workers: list[_Worker]) -> None:
@@ -500,6 +555,12 @@ def _merge_traces(cfg: LiveConfig, run_dir: str, workers: list[_Worker],
         if w.killed_at is not None:
             merged.append((w.killed_at + (t_go_epoch - base), w.pid,
                            CRASH, 0.0))
+    for i, p in enumerate(cfg.partitions):
+        # same encoding as the simulator: +(i+1) at the cut, -(i+1) at
+        # the heal, stamped on pid 0's timeline
+        off = t_go_epoch - base
+        merged.append((p["start_s"] + off, 0, PARTITION, float(i + 1)))
+        merged.append((p["end_s"] + off, 0, PARTITION, float(-(i + 1))))
     merged.sort(key=lambda s: (s[0], s[1]))
     out = os.path.join(run_dir, "trace.ndjson")
     with TraceWriter(out, meta={"live": True, "protocol": cfg.protocol,
@@ -515,7 +576,7 @@ def _merge_traces(cfg: LiveConfig, run_dir: str, workers: list[_Worker],
 
 def _assemble(cfg: LiveConfig, run_dir: str, workers: list[_Worker],
               reports: dict, killed: tuple[int, ...], t_go_epoch: float,
-              wall_s: float) -> LiveResult:
+              wall_s: float, part_dropped: int = 0) -> LiveResult:
     spools = {}
     for w in workers:
         if w.dead:
@@ -566,6 +627,8 @@ def _assemble(cfg: LiveConfig, run_dir: str, workers: list[_Worker],
     metrics.gauge("engine.makespan_s").set(stats.makespan)
     if killed:
         metrics.counter("engine.crashes").inc(len(killed))
+    if part_dropped:
+        metrics.counter("live.partition_drops").inc(part_dropped)
 
     conserved = None
     if cfg.fault_tolerance:
@@ -579,8 +642,9 @@ def _assemble(cfg: LiveConfig, run_dir: str, workers: list[_Worker],
         work_done_time=stats.work_done_time,
         total_units=stats.total_work_units, total_msgs=stats.total_msgs,
         total_steals=stats.total_steals, msgs_by_pid=stats.msgs_by_pid(),
-        optimum=optimum, events=0, msgs_lost=lost, msgs_duplicated=dup,
-        retransmits=rexmit, crashes=crashes, repairs=repairs)
+        optimum=optimum, events=0, msgs_lost=lost + part_dropped,
+        msgs_duplicated=dup, retransmits=rexmit, crashes=crashes,
+        repairs=repairs, breaker_opens=stats.total_breaker_opens())
 
     trace_path = _merge_traces(cfg, run_dir, workers, reports, t_go_epoch)
     return LiveResult(result=result, stats=stats, metrics=metrics,

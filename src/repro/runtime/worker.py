@@ -86,7 +86,9 @@ def build_run_config(cfg: dict) -> RunConfig:
                      sharing=run.get("sharing", "proportional"),
                      quantum=run.get("quantum", 64), seed=run.get("seed", 0),
                      oclb=oclb,
-                     ack_timeout=run.get("ack_timeout", LIVE_ACK_TIMEOUT_S))
+                     ack_timeout=run.get("ack_timeout", LIVE_ACK_TIMEOUT_S),
+                     ack_max_backoff=run.get("ack_max_backoff"),
+                     breaker_threshold=run.get("breaker_threshold", 4))
 
 
 class _Exit(Exception):

@@ -166,6 +166,10 @@ class Simulator:
             src_stats.msgs_lost += 1
             return
         delay = self.network.delivery_delay(msg.src, dst, msg.size_bytes)
+        if fc is not None and fc.plan.gray_links:
+            # Gray-link inflation multiplies (factor >= 1, validated), so
+            # network.min_delay() remains a sound fusion/shard lookahead.
+            delay *= fc.delay_factor(msg.src, dst, now)
         chan = (msg.src, dst)
         arrive_at = max(now + delay, self._fifo.get(chan, 0.0))
         self._fifo[chan] = arrive_at
@@ -188,6 +192,8 @@ class Simulator:
                 src_stats.msgs_duplicated += 1
                 dup_delay = self.network.delivery_delay(msg.src, dst,
                                                         msg.size_bytes)
+                if fc.plan.gray_links:
+                    dup_delay *= fc.delay_factor(msg.src, dst, now)
                 dup_at = max(now + dup_delay, self._fifo[chan])
                 self._fifo[chan] = dup_at
                 sh.export(msg, dup_at)
@@ -202,6 +208,8 @@ class Simulator:
             src_stats.msgs_duplicated += 1
             dup_delay = self.network.delivery_delay(msg.src, dst,
                                                     msg.size_bytes)
+            if fc.plan.gray_links:
+                dup_delay *= fc.delay_factor(msg.src, dst, now)
             dup_at = max(now + dup_delay, self._fifo[chan])
             self._fifo[chan] = dup_at
             if self._fuse_active:
@@ -240,6 +248,7 @@ class Simulator:
         self._fuse_active = self._fuse and not limited
         sh = self._shard
         if self.faults is not None:
+            self.faults.validate_fleet(len(self.processes))
             for pid, t in self.faults.plan.crashes:
                 if pid >= len(self.processes):
                     raise SimConfigError(
@@ -446,6 +455,19 @@ class Simulator:
                 f"{len(unfinished)} unfinished processes "
                 f"(first: {unfinished[:10]}); pending events: {pending}"
                 + hint)
+        fc = self.faults
+        if fc is not None and fc.plan.partitions:
+            # Partition cut/heal markers are pure plan data — recording
+            # them here (instead of as engine events) keeps the event
+            # schedule, and thus shard/fusion bit-identity, untouched.
+            # Consumers sort by time; value encodes window identity
+            # (+idx+1 at the cut, -(idx+1) at the heal).
+            tracer = getattr(self.processes[0], "tracer", None)
+            if tracer is not None:
+                from .trace import PARTITION
+                for i, (_side, start, end) in enumerate(fc.plan.partitions):
+                    tracer.record(start, 0, PARTITION, float(i + 1))
+                    tracer.record(end, 0, PARTITION, float(-(i + 1)))
         self.stats.makespan = self.stats.max_finish_time(default=self.now)
         if self.stats.makespan == 0.0:
             self.stats.makespan = self.now

@@ -1,8 +1,10 @@
-"""Deterministic fault injection: crash-stop processes, lossy links.
+"""Deterministic fault injection: crashes, lossy links, partitions, gray failures.
 
 A :class:`FaultPlan` declares *what goes wrong* in a run — crash-stop
 process failures at given virtual times, i.i.d. per-message loss and
-duplication probabilities, and transient link blackouts — and the
+duplication probabilities, transient link blackouts, network partitions
+(windows that sever every cross-cut link, then heal), and gray failures
+(slow-but-alive nodes and degraded links) — and the
 :class:`FaultController` executes it inside the engine. Two properties the
 rest of the repository depends on:
 
@@ -52,13 +54,36 @@ class FaultPlan:
             duplicate takes an independently priced delay).
         blackouts: ``(src, dst, start, end)`` windows during which every
             message on the matching link is dropped; ``None`` for ``src``
-            or ``dst`` is a wildcard ("any process").
+            or ``dst`` is a wildcard ("any process"). Windows on the same
+            (src, dst) link key must not overlap (validated).
+        partitions: ``(side_a, start, end)`` windows — ``side_a`` is a
+            tuple of pids forming one island; during the window every
+            message whose endpoints straddle the cut (exactly one endpoint
+            in ``side_a``) is dropped, in both directions. At ``end`` the
+            cut heals and traffic flows again. The complement side is
+            implicit: every pid not in ``side_a``. The engine validates at
+            run start that both sides are nonempty for the actual fleet
+            size (a proper split), since ``n`` is unknown here.
+        slowdowns: ``(pid, start, end, factor)`` gray-failure windows —
+            while active, ``pid``'s compute runs ``factor``x slower
+            (factor >= 1). The node stays alive and keeps answering;
+            only its quantum durations stretch.
+        gray_links: ``(src, dst, start, end, delay_factor, loss)``
+            degraded-link windows — matching deliveries take
+            ``delay_factor``x the modelled delay (>= 1, asymmetric:
+            (a, b) does not imply (b, a)) and are additionally dropped
+            with probability ``loss`` (keyed-RNG, deterministic).
+            ``None`` endpoints are wildcards, as for blackouts.
     """
 
     crashes: tuple[tuple[int, float], ...] = ()
     loss: float = 0.0
     dup: float = 0.0
     blackouts: tuple[tuple[int | None, int | None, float, float], ...] = ()
+    partitions: tuple[tuple[tuple[int, ...], float, float], ...] = ()
+    slowdowns: tuple[tuple[int, float, float, float], ...] = ()
+    gray_links: tuple[
+        tuple[int | None, int | None, float, float, float, float], ...] = ()
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss < 1.0:
@@ -79,6 +104,8 @@ class FaultPlan:
             if pid in seen:
                 raise SimConfigError(f"pid {pid} crashes more than once")
             seen.add(pid)
+        by_link: dict[tuple[int | None, int | None],
+                      list[tuple[float, float]]] = {}
         for src, dst, start, end in self.blackouts:
             if start < 0 or end <= start:
                 raise SimConfigError(
@@ -87,11 +114,63 @@ class FaultPlan:
             for p in (src, dst):
                 if p is not None and p < 0:
                     raise SimConfigError(f"blackout pid must be >= 0, got {p}")
+            for lo, hi in by_link.get((src, dst), ()):
+                if start < hi and lo < end:
+                    raise SimConfigError(
+                        f"blackout windows on link ({src}, {dst}) overlap: "
+                        f"[{lo}, {hi}] and [{start}, {end}] — merge them "
+                        "into one window")
+            by_link.setdefault((src, dst), []).append((start, end))
+        for side, start, end in self.partitions:
+            if start < 0 or end <= start:
+                raise SimConfigError(
+                    f"partition window must satisfy 0 <= start < end, "
+                    f"got [{start}, {end}]")
+            if not side:
+                raise SimConfigError(
+                    "partition side must be a nonempty pid set: an empty "
+                    "side means no cut at all")
+            if len(set(side)) != len(side):
+                raise SimConfigError(
+                    f"partition side {side} lists a pid more than once")
+            for p in side:
+                if p < 0:
+                    raise SimConfigError(
+                        f"partition pid must be >= 0, got {p}")
+        for pid, start, end, factor in self.slowdowns:
+            if pid < 0:
+                raise SimConfigError(f"slowdown pid must be >= 0, got {pid}")
+            if start < 0 or end <= start:
+                raise SimConfigError(
+                    f"slowdown window must satisfy 0 <= start < end, "
+                    f"got [{start}, {end}] for pid {pid}")
+            if factor < 1.0:
+                raise SimConfigError(
+                    f"slowdown factor must be >= 1 (a gray node is slower, "
+                    f"never faster), got {factor} for pid {pid}")
+        for src, dst, start, end, dfac, gloss in self.gray_links:
+            if start < 0 or end <= start:
+                raise SimConfigError(
+                    f"gray-link window must satisfy 0 <= start < end, "
+                    f"got [{start}, {end}]")
+            for p in (src, dst):
+                if p is not None and p < 0:
+                    raise SimConfigError(
+                        f"gray-link pid must be >= 0, got {p}")
+            if dfac < 1.0:
+                raise SimConfigError(
+                    f"gray-link delay_factor must be >= 1 (delay inflation "
+                    "below 1 would break the engine's min-delay lookahead), "
+                    f"got {dfac}")
+            if not 0.0 <= gloss < 1.0:
+                raise SimConfigError(
+                    f"gray-link loss must be in [0, 1), got {gloss}")
 
     def is_null(self) -> bool:
         """True when the plan injects nothing at all."""
         return (not self.crashes and self.loss == 0.0 and self.dup == 0.0
-                and not self.blackouts)
+                and not self.blackouts and not self.partitions
+                and not self.slowdowns and not self.gray_links)
 
     @classmethod
     def sample(cls, n: int, crashes: int, seed: int,
@@ -122,7 +201,8 @@ class FaultController:
     """
 
     __slots__ = ("plan", "crashed", "crash_times",
-                 "_loss_base", "_dup_base", "_loss_count", "_dup_count")
+                 "_loss_base", "_dup_base", "_loss_count", "_dup_count",
+                 "_partitions", "_slow_pids", "_gray_bases", "_gray_counts")
 
     def __init__(self, plan: FaultPlan, seed: int) -> None:
         self.plan = plan
@@ -140,14 +220,50 @@ class FaultController:
         self._dup_count: dict[int, int] = {}
         self.crashed: set[int] = set()
         self.crash_times: dict[int, float] = dict(plan.crashes)
+        # Partition sides as frozensets for O(1) cut tests.
+        self._partitions: tuple[tuple[frozenset[int], float, float], ...] = \
+            tuple((frozenset(side), start, end)
+                  for side, start, end in plan.partitions)
+        self._slow_pids: frozenset[int] = frozenset(
+            pid for pid, _, _, _ in plan.slowdowns)
+        # Gray-link flaky loss: one keyed base per rule, one per-(rule,
+        # sender) counter advancing only on sends the rule fully matches —
+        # still a pure function of the sender's local stream, so sharded
+        # runs reproduce the same drops.
+        self._gray_bases: tuple[int, ...] = tuple(
+            derive_seed(seed, "fault-gray", i)
+            for i in range(len(plan.gray_links)))
+        self._gray_counts: dict[tuple[int, int], int] = {}
+
+    def cut(self, src: int, dst: int, now: float) -> bool:
+        """Whether a partition window currently severs the (src, dst) link
+        (exactly one endpoint inside the partitioned side)."""
+        for side, start, end in self._partitions:
+            if start <= now < end and ((src in side) != (dst in side)):
+                return True
+        return False
 
     def drops(self, msg: Message, now: float) -> bool:
-        """Decide whether this transmission is lost (loss or blackout)."""
+        """Decide whether this transmission is lost (partition cut,
+        blackout, gray-link flaky loss, or i.i.d. loss)."""
+        if self._partitions and self.cut(msg.src, msg.dst, now):
+            return True
         for src, dst, start, end in self.plan.blackouts:
             if ((src is None or src == msg.src)
                     and (dst is None or dst == msg.dst)
                     and start <= now < end):
                 return True
+        for i, (src, dst, start, end, _, gloss) in \
+                enumerate(self.plan.gray_links):
+            if (gloss > 0.0 and (src is None or src == msg.src)
+                    and (dst is None or dst == msg.dst)
+                    and start <= now < end):
+                key = (i, msg.src)
+                k = self._gray_counts.get(key, 0)
+                self._gray_counts[key] = k + 1
+                if derive_seed(self._gray_bases[i], msg.src, k) \
+                        * _INV_2_63 < gloss:
+                    return True
         base = self._loss_base
         if base is None:
             return False
@@ -155,6 +271,53 @@ class FaultController:
         k = self._loss_count.get(src, 0)
         self._loss_count[src] = k + 1
         return derive_seed(base, src, k) * _INV_2_63 < self.plan.loss
+
+    def delay_factor(self, src: int, dst: int, now: float) -> float:
+        """Multiplicative delay inflation from gray links active on
+        (src, dst) at ``now`` (1.0 when none match). Always >= 1, so the
+        engine's min-delay network lookahead stays a valid lower bound."""
+        f = 1.0
+        for gsrc, gdst, start, end, dfac, _ in self.plan.gray_links:
+            if ((gsrc is None or gsrc == src)
+                    and (gdst is None or gdst == dst)
+                    and start <= now < end):
+                f *= dfac
+        return f
+
+    def slow_factor(self, pid: int, now: float) -> float:
+        """Compute-slowdown multiplier for ``pid`` at ``now`` (>= 1)."""
+        f = 1.0
+        if pid in self._slow_pids:
+            for spid, start, end, factor in self.plan.slowdowns:
+                if spid == pid and start <= now < end:
+                    f *= factor
+        return f
+
+    def has_slowdown(self, pid: int) -> bool:
+        """Whether any gray slowdown window targets ``pid`` (used to opt
+        the pid out of macro-event fusion: a fused block cannot see a
+        window boundary crossing mid-block)."""
+        return pid in self._slow_pids
+
+    def validate_fleet(self, n: int) -> None:
+        """Run-start validation against the actual fleet size: every
+        partition must split ``range(n)`` into two nonempty sides."""
+        for side, _start, _end in self.plan.partitions:
+            bad = [p for p in side if p >= n]
+            if bad:
+                raise SimConfigError(
+                    f"partition side references unknown process(es) {bad} "
+                    f"(fleet has {n} processes)")
+            if len(side) >= n:
+                raise SimConfigError(
+                    f"partition side {tuple(sorted(side))} covers the whole "
+                    f"{n}-process fleet: the complement side is empty, so "
+                    "there is no cut — use a proper subset")
+        for pid, _, _, _ in self.plan.slowdowns:
+            if pid >= n:
+                raise SimConfigError(
+                    f"slowdown targets unknown process {pid} "
+                    f"(fleet has {n} processes)")
 
     def duplicates(self, msg: Message) -> bool:
         """Decide whether this delivery is duplicated."""

@@ -48,6 +48,7 @@ class ProcessStats:
     retransmits: int = 0          # reliable-channel retransmissions sent
     crashes: int = 0              # 1 when this process crash-stopped
     repairs: int = 0              # overlay splices this node performed
+    breaker_opens: int = 0        # circuit breakers this node tripped open
     #: virtual time this process crash-stopped (+inf while alive): its
     #: accountable lifetime ends here, not at the run horizon
     crash_time: float = float("inf")
@@ -68,7 +69,8 @@ class ProcessStats:
 _INT_FIELDS = ("msgs_sent", "msgs_received", "bytes_sent", "bytes_received",
                "work_units", "steals_attempted", "steals_successful",
                "work_msgs_sent", "work_msgs_received", "msgs_lost",
-               "msgs_duplicated", "retransmits", "crashes", "repairs")
+               "msgs_duplicated", "retransmits", "crashes", "repairs",
+               "breaker_opens")
 #: Float counters (``crash_time`` initialises to +inf, the rest to 0).
 _FLOAT_FIELDS = ("busy_time", "handler_time", "finish_time", "crash_time")
 
@@ -258,6 +260,13 @@ class RunStats:
                 sum(p.retransmits for p in self.per_process),
                 sum(p.crashes for p in self.per_process),
                 sum(p.repairs for p in self.per_process))
+
+    def total_breaker_opens(self) -> int:
+        """Circuit-breaker trips summed over the fleet (0 in clean runs)."""
+        c = self._columns
+        if c is not None:
+            return int(c.i["breaker_opens"].sum())
+        return sum(p.breaker_opens for p in self.per_process)
 
     def max_finish_time(self, default: float = 0.0) -> float:
         """Latest per-process ``finish_time`` (``default`` when n == 0)."""

@@ -29,6 +29,11 @@ CRASH = "crash"          # value = 0 (this process crash-stopped)
 REPAIR = "repair"        # value = the spliced/adopted peer's pid
 TRANSFER = "transfer"    # value = src pid of a merged WORK transfer
                          # (pid = the receiver); feeds the steal matrix
+CIRCUIT = "circuit"      # value = peer*4 + state (0 closed / 1 open /
+                         # 2 half-open); pid = the breaker's owner
+PARTITION = "partition"  # value = +(idx+1) at a cut, -(idx+1) at its heal
+                         # (idx = the plan's partition window index);
+                         # recorded on pid 0's tracer at finalize
 
 
 @dataclass(slots=True)
@@ -139,4 +144,5 @@ def render_profile(profile: list[tuple[float, float]],
 
 
 __all__ = ["Tracer", "Sample", "render_profile", "QUANTUM", "MESSAGE",
-           "IDLE", "FINISH", "CRASH", "REPAIR", "TRANSFER"]
+           "IDLE", "FINISH", "CRASH", "REPAIR", "TRANSFER", "CIRCUIT",
+           "PARTITION"]

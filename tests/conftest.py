@@ -1,6 +1,13 @@
 """Shared test configuration."""
 
+import os
+import sys
+
 from hypothesis import HealthCheck, settings
+
+# Let test modules import helpers from sibling modules (e.g. the
+# four-place conservation oracle in test_fault_tolerance).
+sys.path.insert(0, os.path.dirname(__file__))
 
 # Whole-simulation property tests are slow by nature; the default 200ms
 # deadline would flake on loaded CI machines.

@@ -71,11 +71,12 @@ def conserved_units(sim, workers, app, stats):
     return total
 
 
-def run_faulted(proto, n, plan, seed=0, dmax=3, app=None):
+def run_faulted(proto, n, plan, seed=0, dmax=3, app=None, **cfg_kwargs):
     """One faulted run; returns (conserved units, stats, workers)."""
     if app is None:
         app = UTSApplication(TINY)
-    cfg = RunConfig(protocol=proto, n=n, dmax=dmax, seed=seed, faults=plan)
+    cfg = RunConfig(protocol=proto, n=n, dmax=dmax, seed=seed, faults=plan,
+                    **cfg_kwargs)
     sim = Simulator(network=grid5000(), seed=seed, faults=plan)
     workers = build_workers(sim, cfg, app)
     stats = sim.run()
@@ -138,6 +139,73 @@ def test_crashed_subtree_chain_is_adopted():
     assert stats.fault_totals()[4] > 0
 
 
+# -- partitions and gray failures --------------------------------------------
+
+#: Tight channel pacing: the breaker ladder (t, 2t, 4t, ...) must trip
+#: well inside bin_tiny's ~14 ms makespans.
+PACING = {"ack_timeout": 5e-4, "breaker_threshold": 3, "quantum": 16}
+
+
+def partition_plan(n, start=1e-3, end=6e-3):
+    """Split ``range(n)`` down the middle for ``[start, end)``."""
+    side = tuple(range(n // 2, n))
+    return FaultPlan(partitions=((side, start, end),))
+
+
+@pytest.mark.parametrize("proto", ["TD", "TR", "BTD", "RWS"])
+def test_conservation_under_partition(proto):
+    """A mid-run split-then-heal loses no work: partitions kill links,
+    not nodes, so the identity must hold with zero frozen/dropped terms."""
+    total, stats, workers = run_faulted(proto, 16, partition_plan(16),
+                                        seed=1, **PACING)
+    assert total == TINY_NODES
+    assert stats.total_work_units == TINY_NODES   # all of it *processed*
+    assert stats.fault_totals()[0] > 0            # cross-cut frames dropped
+    assert all(not w._crashed for w in workers)
+
+
+@pytest.mark.parametrize("proto", ["TD", "TR", "BTD", "RWS"])
+def test_no_false_termination_across_islands(proto):
+    """Island safety: no process may learn global termination while the
+    cut is up — the waves cannot cross it, and the far island still holds
+    (or owes acks for) live work. Every finish_time lands after the heal."""
+    end = 6e-3
+    total, stats, _ = run_faulted(proto, 16, partition_plan(16, end=end),
+                                  seed=1, **PACING)
+    assert total == TINY_NODES
+    finishes = [p.finish_time for p in stats.per_process]
+    assert min(finishes) >= end, \
+        f"{proto}: a process terminated at {min(finishes)} inside the cut"
+
+
+@pytest.mark.parametrize("proto", ["TD", "TR", "BTD", "RWS"])
+def test_gray_peer_is_circuit_broken(proto):
+    """A slow-but-alive peer with flaky links trips breakers and is
+    routed around; the run still conserves exactly and the suspicion
+    heals (nothing is abandoned — gray is not dead)."""
+    n = 16
+    pid = n // 2
+    plan = FaultPlan(slowdowns=((pid, 0.0, 8e-3, 8.0),),
+                     gray_links=((None, pid, 0.0, 8e-3, 4.0, 0.5),
+                                 (pid, None, 0.0, 8e-3, 4.0, 0.5)))
+    total, stats, workers = run_faulted(proto, n, plan, seed=1, **PACING)
+    assert total == TINY_NODES
+    assert stats.total_breaker_opens() > 0
+    assert all(not w.suspect for w in workers)    # every suspicion healed
+    assert workers[pid].terminated                # gray, not dead
+
+
+@pytest.mark.parametrize("proto", ["TD", "BTD", "RWS"])
+def test_conservation_under_partition_and_crashes(proto):
+    """A crash on each side of an active cut: the dead-set waves and the
+    island gating must compose, and the identity stays exact."""
+    plan = FaultPlan(partitions=((tuple(range(8, 16)), 1e-3, 6e-3),),
+                     crashes=((5, 2e-3), (11, 3e-3)), loss=0.05)
+    total, stats, _ = run_faulted(proto, 16, plan, seed=3, **PACING)
+    assert total == TINY_NODES
+    assert stats.fault_totals()[3] == 2
+
+
 # -- B&B under faults --------------------------------------------------------
 
 def test_bnb_exact_under_loss_and_dup():
@@ -182,3 +250,70 @@ def test_bnb_sound_under_crashes():
     assert all(w.terminated for w in workers if not w._crashed)
     best = min(w.shared.value for w in workers if not w._crashed)
     assert best >= opt
+
+
+def test_bnb_exact_under_partition():
+    """A split-then-heal costs B&B nothing: no node dies, so the search
+    is exhaustive and the optimum exact for every protocol."""
+    from repro.apps.bnb_app import BnBApplication
+    from repro.bnb.engine import solve_bruteforce
+    from repro.bnb.taillard import scaled_instance
+    inst = scaled_instance(3, n_jobs=7, n_machines=5)
+    opt, _ = solve_bruteforce(inst)
+    for proto in ("TD", "TR", "BTD", "RWS"):
+        plan = partition_plan(12, end=4e-3)
+        cfg = RunConfig(protocol=proto, n=12, dmax=3, quantum=8, seed=8,
+                        faults=plan, ack_timeout=5e-4, breaker_threshold=3)
+        sim = Simulator(network=grid5000(), seed=8, faults=plan)
+        workers = build_workers(sim, cfg, BnBApplication(inst))
+        sim.run()
+        assert all(w.terminated for w in workers)
+        assert min(w.shared.value for w in workers) == opt, proto
+
+
+# -- chaos: randomized partition-then-heal schedules -------------------------
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+@st.composite
+def partition_schedules(draw, n=16):
+    """1-2 partition windows over range(n): arbitrary proper sides,
+    mid-run starts, lengths from a blip to most of the run."""
+    windows = []
+    for _ in range(draw(st.integers(1, 2))):
+        side = draw(st.sets(st.integers(0, n - 1),
+                            min_size=1, max_size=n - 1))
+        start = draw(st.floats(5e-4, 4e-3))
+        dur = draw(st.floats(5e-4, 6e-3))
+        windows.append((tuple(sorted(side)), start, start + dur))
+    return FaultPlan(partitions=tuple(windows))
+
+
+@settings(max_examples=8, deadline=None)
+@given(proto=st.sampled_from(["TD", "TR", "BTD", "RWS"]),
+       plan=partition_schedules(), seed=st.integers(0, 2 ** 20))
+def test_chaos_partition_then_heal_uts(proto, plan, seed):
+    """Any partition schedule: exact conservation, clean termination."""
+    total, stats, _ = run_faulted(proto, 16, plan, seed=seed, **PACING)
+    assert total == TINY_NODES
+    assert stats.total_work_units == TINY_NODES
+
+
+@settings(max_examples=6, deadline=None)
+@given(proto=st.sampled_from(["TD", "TR", "BTD", "RWS"]),
+       plan=partition_schedules(n=12), seed=st.integers(0, 2 ** 20))
+def test_chaos_partition_then_heal_bnb(proto, plan, seed):
+    """Any partition schedule: B&B stays exhaustive, optimum exact."""
+    from repro.apps.bnb_app import BnBApplication
+    from repro.bnb.engine import solve_bruteforce
+    from repro.bnb.taillard import scaled_instance
+    inst = scaled_instance(6, n_jobs=6, n_machines=5)
+    opt, _ = solve_bruteforce(inst)
+    cfg = RunConfig(protocol=proto, n=12, dmax=3, quantum=8, seed=seed,
+                    faults=plan, ack_timeout=5e-4, breaker_threshold=3)
+    sim = Simulator(network=grid5000(), seed=seed, faults=plan)
+    workers = build_workers(sim, cfg, BnBApplication(inst))
+    sim.run()
+    assert all(w.terminated for w in workers)
+    assert min(w.shared.value for w in workers) == opt

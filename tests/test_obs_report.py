@@ -78,6 +78,44 @@ def test_report_counts_transfers_and_metrics():
         report.totals["steals"]
 
 
+def test_report_surfaces_circuit_breakers():
+    """A partitioned run's report carries the breaker section: per-(owner,
+    peer) trip/probe/open-span rows folded from CIRCUIT trace samples."""
+    from repro.sim.faults import FaultPlan
+    from repro.uts.params import PRESETS as UTS_PRESETS
+    plan = FaultPlan(partitions=(((8, 9, 10, 11, 12, 13, 14, 15),
+                                  1e-3, 8e-3),))
+    cfg = RunConfig(protocol="BTD", n=16, quantum=16, seed=1, faults=plan,
+                    ack_timeout=5e-4, breaker_threshold=3)
+    tracer = Tracer()
+    result, stats = run_instrumented(
+        cfg, UTSSpec(UTS_PRESETS["bin_tiny"].params).build(), tracer=tracer)
+    report = build_report(cfg, result, stats, tracer=tracer,
+                          app="uts/bin_tiny")
+    doc = report.to_json()
+    assert doc["faults"]["breaker_opens"] == result.breaker_opens > 0
+    rows = doc["breakers"]
+    assert rows, "no breaker rows despite trips"
+    assert sum(r["opens"] for r in rows) == result.breaker_opens
+    for r in rows:
+        assert r["state"] == "closed"            # the heal closed them all
+        assert r["open_s"] > 0.0
+        assert r["owner"] != r["peer"]
+    rendered = report.render()
+    assert "breaker trips" in rendered
+    assert "circuit breakers" in rendered
+
+
+def test_report_without_faults_has_no_breaker_section():
+    cfg = RunConfig(protocol="BTD", n=8, quantum=16, seed=42)
+    tracer = Tracer()
+    result, stats = run_instrumented(cfg, UTSSpec(MINI).build(),
+                                     tracer=tracer)
+    report = build_report(cfg, result, stats, tracer=tracer)
+    assert report.breakers == []
+    assert "circuit breakers" not in report.render()
+
+
 # -- the CLI -----------------------------------------------------------------
 
 def test_report_cli_smoke(tmp_path, monkeypatch, capsys):

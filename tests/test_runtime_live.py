@@ -146,6 +146,70 @@ def test_kill_config_validation():
                    kills=({"pid": 1, "after_s": 0.1, "after_units": 5},))
 
 
+# -- network partitions (transport-layer splits) -----------------------------
+
+def test_live_partition_heal_conserves_every_unit(tmp_path):
+    """A real split-then-heal: the supervisor's router drops cross-cut
+    frames for a wall-clock window. No node dies, so the run must finish
+    with the full tree *processed* and the identity exact."""
+    # the window must overlap the run: bin_tiny on 4 local workers takes
+    # ~0.1 s of protocol time, so cut early and heal before the timeout
+    cfg = LiveConfig(protocol="BTD", n=4, app=UTS_TINY, seed=23,
+                     timeout_s=90.0, fault_tolerance=True,
+                     run_dir=str(tmp_path / "run"),
+                     partitions=({"side": [2, 3],
+                                  "start_s": 0.02, "end_s": 0.3},))
+    live = run_live(cfg)
+    assert live.killed == ()
+    assert live.result.total_units == TINY_NODES
+    assert live.conserved == TINY_NODES
+    # frames actually crossed (and were eaten by) the cut
+    assert live.metrics.counter("live.partition_drops").value > 0
+    for pid in range(4):
+        assert live.reports[pid]["stats"]["finish_time"] > 0.0
+
+
+def test_sigkill_during_partition_conserves(tmp_path):
+    """kill -9 on a partitioned worker: the spool identity must survive
+    the composition of a split and a death inside it."""
+    # termination waves cannot cross the cut, so the run must outlive the
+    # window — an after_s kill at 0.1 s is therefore guaranteed to land
+    # *inside* the 0.02-0.5 s split, not before or after it
+    cfg = LiveConfig(protocol="BTD", n=4, app=UTS_TINY, seed=24,
+                     timeout_s=90.0, fault_tolerance=True,
+                     run_dir=str(tmp_path / "run"),
+                     kills=({"pid": 3, "after_s": 0.1},),
+                     partitions=({"side": [2, 3],
+                                  "start_s": 0.02, "end_s": 0.5},))
+    live = run_live(cfg)
+    assert live.killed == (3,)
+    assert live.result.crashes == 1
+    assert live.conserved == TINY_NODES          # exact, not approximate
+    for pid in (0, 1, 2):
+        assert live.reports[pid]["stats"]["finish_time"] > 0.0
+
+
+def test_partition_config_validation():
+    from repro.sim.errors import SimConfigError
+    ok = {"side": [2, 3], "start_s": 0.1, "end_s": 0.5}
+    with pytest.raises(SimConfigError):          # needs fault tolerance
+        LiveConfig(n=4, partitions=(ok,))
+    with pytest.raises(SimConfigError):          # empty side
+        LiveConfig(n=4, fault_tolerance=True,
+                   partitions=({"side": [], "start_s": 0.1, "end_s": 0.5},))
+    with pytest.raises(SimConfigError):          # pid out of range
+        LiveConfig(n=4, fault_tolerance=True,
+                   partitions=({"side": [7], "start_s": 0.1, "end_s": 0.5},))
+    with pytest.raises(SimConfigError):          # whole-fleet side: no cut
+        LiveConfig(n=4, fault_tolerance=True,
+                   partitions=({"side": [0, 1, 2, 3],
+                                "start_s": 0.1, "end_s": 0.5},))
+    with pytest.raises(SimConfigError):          # start >= end
+        LiveConfig(n=4, fault_tolerance=True,
+                   partitions=({"side": [2], "start_s": 0.5, "end_s": 0.1},))
+    LiveConfig(n=4, fault_tolerance=True, partitions=(ok,))
+
+
 # -- shutdown hygiene --------------------------------------------------------
 
 def test_no_orphan_processes_after_clean_run():

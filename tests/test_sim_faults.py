@@ -52,6 +52,65 @@ def test_plan_rejects_bad_blackout_window():
         FaultPlan(blackouts=((None, None, 2e-3, 1e-3),))
 
 
+def test_plan_rejects_overlapping_blackouts():
+    with pytest.raises(SimConfigError, match="overlap"):
+        FaultPlan(blackouts=((1, 2, 1e-3, 3e-3), (1, 2, 2e-3, 4e-3)))
+    with pytest.raises(SimConfigError, match="overlap"):
+        # wildcard windows collide on the same (None, None) link key too
+        FaultPlan(blackouts=((None, None, 0.0, 5e-3),
+                             (None, None, 4e-3, 6e-3)))
+    # adjacent windows are fine (half-open [start, end) intervals)...
+    FaultPlan(blackouts=((1, 2, 1e-3, 2e-3), (1, 2, 2e-3, 3e-3)))
+    # ...and so is the same window on *different* link keys
+    FaultPlan(blackouts=((1, 2, 1e-3, 3e-3), (2, 1, 1e-3, 3e-3)))
+
+
+def test_plan_rejects_bad_partition_sides():
+    with pytest.raises(SimConfigError, match="nonempty"):
+        FaultPlan(partitions=(((), 1e-3, 2e-3),))
+    with pytest.raises(SimConfigError, match="more than once"):
+        FaultPlan(partitions=(((1, 1, 2), 1e-3, 2e-3),))
+    with pytest.raises(SimConfigError, match=">= 0"):
+        FaultPlan(partitions=(((-1, 2), 1e-3, 2e-3),))
+    with pytest.raises(SimConfigError, match="start < end"):
+        FaultPlan(partitions=(((1, 2), 2e-3, 1e-3),))
+
+
+def test_plan_rejects_bad_gray_failures():
+    with pytest.raises(SimConfigError, match="factor must be >= 1"):
+        FaultPlan(slowdowns=((1, 0.0, 1e-3, 0.5),))
+    with pytest.raises(SimConfigError, match="start < end"):
+        FaultPlan(slowdowns=((1, 2e-3, 1e-3, 2.0),))
+    with pytest.raises(SimConfigError, match="delay_factor"):
+        FaultPlan(gray_links=((None, 1, 0.0, 1e-3, 0.5, 0.0),))
+    with pytest.raises(SimConfigError, match="loss"):
+        FaultPlan(gray_links=((None, 1, 0.0, 1e-3, 2.0, 1.0),))
+
+
+def test_fleet_validation_rejects_improper_splits():
+    """validate_fleet needs the actual n: a side that covers the whole
+    fleet (no cut) or names unknown pids only shows up at run start."""
+    from repro.sim.faults import FaultController
+    plan = FaultPlan(partitions=(((0, 1, 2, 3), 1e-3, 2e-3),))
+    FaultController(plan, seed=0).validate_fleet(8)      # proper split
+    with pytest.raises(SimConfigError, match="whole"):
+        FaultController(plan, seed=0).validate_fleet(4)
+    with pytest.raises(SimConfigError, match="unknown"):
+        FaultController(FaultPlan(partitions=(((9,), 1e-3, 2e-3),)),
+                        seed=0).validate_fleet(8)
+    with pytest.raises(SimConfigError, match="unknown"):
+        FaultController(FaultPlan(slowdowns=((9, 0.0, 1e-3, 2.0),)),
+                        seed=0).validate_fleet(8)
+
+
+def test_null_plan_covers_new_fault_kinds():
+    assert FaultPlan().is_null()
+    assert not FaultPlan(partitions=(((1,), 1e-3, 2e-3),)).is_null()
+    assert not FaultPlan(slowdowns=((1, 0.0, 1e-3, 2.0),)).is_null()
+    assert not FaultPlan(
+        gray_links=((None, 1, 0.0, 1e-3, 2.0, 0.1),)).is_null()
+
+
 def test_sample_is_deterministic_and_bounded():
     a = FaultPlan.sample(16, crashes=4, seed=9)
     b = FaultPlan.sample(16, crashes=4, seed=9)
@@ -142,6 +201,32 @@ def test_blackout_drops_messages():
     r = run_once(cfg, UTSApplication(MINI))
     assert r.total_units == MINI_NODES
     assert r.msgs_lost > 0
+
+
+def test_partition_drops_are_counted_and_heal():
+    """Cross-cut frames count as lost; the heal restores every unit."""
+    plan = FaultPlan(partitions=(((4, 5, 6, 7), 1e-3, 4e-3),))
+    cfg = RunConfig(protocol="TD", n=8, dmax=3, seed=5, faults=plan)
+    r = run_once(cfg, UTSApplication(MINI))
+    assert r.total_units == MINI_NODES
+    assert r.msgs_lost > 0
+
+
+def test_gray_runs_are_deterministic():
+    """Gray-link keyed drops and slowdown inflation reproduce exactly."""
+    plan = FaultPlan(slowdowns=((4, 0.0, 8e-3, 8.0),),
+                     gray_links=((None, 4, 0.0, 8e-3, 4.0, 0.5),
+                                 (4, None, 0.0, 8e-3, 4.0, 0.5)))
+
+    def go():
+        cfg = RunConfig(protocol="BTD", n=8, dmax=3, seed=6, faults=plan)
+        return run_once(cfg, UTSApplication(MINI))
+
+    a, b = go(), go()
+    assert a.total_units == b.total_units == MINI_NODES
+    assert (a.makespan, a.total_msgs, a.msgs_lost, a.retransmits) == \
+           (b.makespan, b.total_msgs, b.msgs_lost, b.retransmits)
+    assert a.msgs_lost > 0                   # the flaky links actually drop
 
 
 def test_crash_is_counted():

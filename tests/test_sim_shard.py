@@ -132,6 +132,25 @@ def test_golden_faulted(app):
     assert res.crashes == 2
 
 
+@pytest.mark.parametrize("proto", ["TD", "BTD", "RWS"])
+@pytest.mark.parametrize("app", ["synthetic", "uts"])
+def test_golden_partitioned_and_gray(proto, app):
+    """Partition + gray failures across shard boundaries stay bit-identical:
+    cut tests are pure functions of (src, dst, now), gray drops are keyed
+    per (rule, sender, send index), and slowed pids opt out of fusion the
+    same way serially and sharded."""
+    plan = FaultPlan(
+        partitions=(((8, 9, 10, 11, 12, 13, 14, 15), 1e-3, 7e-3),),
+        slowdowns=((5, 0.0, 6e-3, 6.0),),
+        gray_links=((None, 5, 0.0, 6e-3, 3.0, 0.4),
+                    (5, None, 0.0, 6e-3, 3.0, 0.4)))
+    cfg = RunConfig(protocol=proto, n=16, dmax=3, quantum=16, seed=42,
+                    jitter=1.5, faults=plan, ack_timeout=5e-4,
+                    breaker_threshold=3)
+    res = assert_bit_identical(cfg, APPS[app], shards=3)
+    assert res.msgs_lost > 0                  # the cut actually dropped
+
+
 # -- window mechanics --------------------------------------------------------
 
 def test_run_window_horizon_is_exclusive():
