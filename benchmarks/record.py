@@ -356,7 +356,21 @@ def faults(out=None):
 
 
 def live_backend(quick=False, out=None):
-    """Live multi-process backend vs the simulator on the same UTS tree."""
+    """Live multi-process backend vs the simulator on the same UTS tree.
+
+    Records two families of cells on identical workloads:
+
+    * **star** (n=2, 4): every protocol frame relayed by the supervisor —
+      the historical baseline, whose steal throughput plateaus once the
+      single router saturates (the master-bottleneck pathology the
+      paper's overlay thesis exists to avoid);
+    * **p2p** (n=4, 16 gated; n=64 as full-mode context): frames flow
+      over direct worker<->worker connections, so steal throughput keeps
+      scaling with the fleet.  The recording itself asserts the headline
+      comparison — p2p at n=16 must beat the star plateau at n=4 — so a
+      data plane that quietly falls back to relaying cannot re-record a
+      green baseline.
+    """
     from repro.experiments.runner import RunConfig, run_instrumented
     from repro.experiments.specs import UTSSpec
     from repro.runtime.supervisor import LiveConfig, run_live
@@ -367,20 +381,39 @@ def live_backend(quick=False, out=None):
     spec = UTSSpec(PRESETS[preset].params)
     _eq_rate, calib_rate = gated_rates()
 
-    after = {}
-    steals = {}
-    for n in (2, 4):
+    def live_cell(n, p2p):
         best_units_s = 0.0
         best_steals_s = 0.0
         for rep in range(repeats):
             res = run_live(LiveConfig(
                 protocol="BTD", n=n, app={"kind": "uts", "preset": preset},
-                seed=42 + rep, timeout_s=120.0)).result
+                seed=42 + rep, p2p=p2p, timeout_s=240.0)).result
             assert res.total_units == BASELINE_LIVE_NODES, res.total_units
             best_units_s = max(best_units_s, res.total_units / res.makespan)
-            best_steals_s = max(best_steals_s, res.total_steals / res.makespan)
-        after[f"live_uts_units_per_s_n{n}"] = round(best_units_s)
-        steals[n] = round(best_steals_s, 1)
+            best_steals_s = max(best_steals_s,
+                                res.total_steals / res.makespan)
+        return best_units_s, best_steals_s
+
+    after = {}
+    steals = {}
+    for n in (2, 4):
+        units_s, steals_s = live_cell(n, p2p=False)
+        after[f"live_uts_units_per_s_n{n}"] = round(units_s)
+        steals[n] = round(steals_s, 1)
+
+    p2p_steals = {}
+    for n in (4, 16) if quick else (4, 16, 64):
+        units_s, steals_s = live_cell(n, p2p=True)
+        p2p_steals[n] = round(steals_s, 1)
+        if n in (4, 16):   # gated in both modes; n=64 is context
+            after[f"live_p2p_steals_per_s_n{n}"] = round(steals_s, 1)
+            after[f"live_p2p_units_per_s_n{n}"] = round(units_s)
+    # the tentpole claim, asserted at recording time: direct
+    # worker<->worker steal traffic at n=16 exceeds the star router's
+    # n=4 saturation plateau
+    assert p2p_steals[16] > steals[4], (
+        f"p2p n=16 steal throughput {p2p_steals[16]}/s does not clear "
+        f"the n=4 star plateau {steals[4]}/s")
 
     def sim_run():
         cfg = RunConfig(protocol="BTD", n=4, quantum=64, seed=42)
@@ -396,9 +429,12 @@ def live_backend(quick=False, out=None):
         "quick": quick,
         "preset": preset,
         "calibration_ops_per_s": round(calib_rate),
-        # context, not gated: steal traffic per wall second, and the
-        # virtual-time makespan the simulator predicts for this workload
+        # context, not gated: steal traffic per wall second (star vs
+        # p2p data plane), and the virtual-time makespan the simulator
+        # predicts for this workload
         "live_steal_reqs_per_s": steals,
+        "live_p2p_steal_reqs_per_s": p2p_steals,
+        "p2p_vs_star_plateau": round(p2p_steals[16] / steals[4], 2),
         "sim_virtual_makespan_s": sim_res.makespan,
         "metrics": {name: {"after": value} for name, value in after.items()},
     }

@@ -174,12 +174,12 @@ class OverlayWorker(WorkerProcess):
     # -- idle search (paper §II-A) ------------------------------------------------
 
     def on_idle(self) -> None:
-        if not self.ready or self.terminated:
+        if not self.ready or self.terminated or self.leaving:
             return
         self._search()
 
     def _search(self) -> None:
-        if (self.terminated or not self.ready
+        if (self.terminated or self.leaving or not self.ready
                 or not self.work.is_empty() or self.cpu_busy):
             return
         if (self.bridged and self.bridge_target is not None
@@ -213,7 +213,7 @@ class OverlayWorker(WorkerProcess):
 
     def _schedule_reprobe(self) -> None:
         """Start a fresh down-phase round after ``probe_retry`` seconds."""
-        if self._reprobe_pending or self.terminated:
+        if self._reprobe_pending or self.terminated or self.leaving:
             return
         if all(c in self.R for c in self.children):
             return  # nothing to probe; their upward requests sit here anyway
@@ -395,6 +395,42 @@ class OverlayWorker(WorkerProcess):
             self.sizes.note_parent_size(size)
         if not self.terminated and self.ready:
             self._search()
+
+    def on_leave(self) -> None:
+        """Retract our queued requests so nobody grants work to a node on
+        its way out; queued requesters *at* this node stay — serving them
+        while draining only sheds the pool faster, and whoever is still
+        unserved re-requests once the departure is announced."""
+        if self.up_outstanding and self.parent >= 0 \
+                and self.parent not in self.dead:
+            self.send(self.parent, WITHDRAW, None)
+        self.up_outstanding = False
+        if (self.bridged and self.bridge_outstanding
+                and self.bridge_target is not None
+                and self.bridge_target not in self.dead):
+            self.send(self.bridge_target, WITHDRAW, None)
+        self.bridge_outstanding = False
+        self.probe_target = None
+
+    def peer_joined(self, pid: int, parent: int) -> None:
+        """Graft a mid-run joiner (live elastic membership) as a new leaf.
+
+        Every member applies the same graft, so the static tree the splice
+        machinery walks stays identical fleet-wide; the joiner announces
+        itself with ATTACH, which flows through the ordinary
+        :meth:`_add_child_link` adoption at its parent.
+        """
+        if pid < self.tree.n:
+            return                      # duplicate announcement
+        if pid != self.tree.n:
+            from ..sim.errors import SimRuntimeError
+            raise SimRuntimeError(
+                f"out-of-order join announcement: got pid {pid}, "
+                f"expected {self.tree.n}")
+        from ..overlay.tree import graft_leaf
+        self.tree = graft_leaf(self.tree, parent)
+        self.sizes.tree = self.tree     # only own links are read; idem here
+        self.waves.note_join()
 
     def on_peer_dead(self, pid: int) -> None:
         if self.bridged and pid == self.bridge_target:

@@ -170,6 +170,13 @@ class TerminationWaves:
         if pid not in self.children:
             self.children.append(pid)
 
+    def note_join(self) -> None:
+        """A worker joined the fleet (live elastic membership): coverage
+        must expect one more answer from the next wave onward.  A wave in
+        flight simply comes up short and retries — the same safe direction
+        as a mid-wave crash."""
+        self.n_total += 1
+
     def set_parent(self, pid: int) -> None:
         """Re-parent after a splice (the root never re-parents)."""
         self.parent = pid

@@ -94,6 +94,10 @@ class WorkerProcess(SimProcess):
         # synthetic workload share nothing; B&B never fuses.
         self._fusible = self.shared is None
         self.terminated = False
+        #: graceful-leave state (live elastic membership): a leaving worker
+        #: stops computing and acquiring, hands its pool up, and waits for
+        #: its outstanding transfers to settle before departing
+        self.leaving = False
         #: optional repro.sim.trace.Tracer; set by the harness, zero cost
         #: when absent
         self.tracer = None
@@ -191,6 +195,10 @@ class WorkerProcess(SimProcess):
     def _on_new_parent(self, pid: int, size: float) -> None:
         """An ADOPT settled our parent link; resume protocol activity."""
 
+    def peer_joined(self, pid: int, parent: int) -> None:
+        """A new worker joined the overlay mid-run under ``parent`` (live
+        elastic membership).  Inert for protocols without a tree."""
+
     def on_peer_dead(self, pid: int) -> None:
         """Protocol-specific cleanup for a crashed peer (any role)."""
 
@@ -243,10 +251,53 @@ class WorkerProcess(SimProcess):
                 from ..sim.trace import FINISH
                 self.tracer.record(self.now, self.pid, FINISH)
 
+    # -- graceful leave (live elastic membership) -------------------------------
+
+    def begin_leave(self) -> None:
+        """Start a graceful departure: stop computing and acquiring work.
+
+        The pool drains through :meth:`leave_tick` (called by the live
+        reactor) — handed to the current tree parent, the same direction a
+        finished subtree's work report flows.  Idempotent; a no-op once
+        terminated (nothing left to hand up)."""
+        if self.leaving or self.terminated:
+            return
+        self.leaving = True
+        self.on_leave()
+
+    def on_leave(self) -> None:
+        """Protocol hook: retract outstanding requests before departing."""
+
+    def leave_tick(self) -> bool:
+        """Advance the departure; True once it is safe to exit.
+
+        Safe means: the pool is empty, no quantum is in flight, and every
+        reliable transfer we initiated has been acknowledged — so each
+        work piece provably changed hands (or never left: the spool's
+        receive log lets the sender recover anything still unlogged)."""
+        if self.terminated:
+            return True
+        if not self.work.is_empty() and not self._cpu_busy:
+            self._hand_up()
+        return (self.work.is_empty() and not self._cpu_busy
+                and (self._reliable is None
+                     or not self._reliable.has_pending_work()))
+
+    def _hand_up(self) -> None:
+        """Ship the whole pool to the current (possibly spliced) parent."""
+        dst = self._repair_parent()
+        if dst < 0 or dst == self.pid or dst in self.dead:
+            return   # no live parent right now; retried next tick
+        piece, self.work = self.work, self.app.empty_work()
+        if piece.is_empty():
+            self.work = piece
+            return
+        self.send_work(dst, piece, channel="leave")
+
     # -- compute loop -----------------------------------------------------------------
 
     def on_cpu_free(self) -> None:
-        if self.terminated:
+        if self.terminated or self.leaving:
             return
         if not self.work.is_empty():
             self._run_quantum()
@@ -636,6 +687,18 @@ class WorkerProcess(SimProcess):
         while p > 0 and p in self.dead:
             p = self.static_parent(p)
         return p
+
+    def join_overlay(self) -> None:
+        """Freshly joined node (live elastic membership): announce
+        ourselves to the nearest live static ancestor — normally the
+        assigned graft parent, unless it died while we were spawning.
+        Same ATTACH/ADOPT exchange as a post-crash splice, but joining is
+        not a repair, so the repair counter stays untouched."""
+        np = self._nearest_live_ancestor_of(self.pid)
+        self._set_parent_link(np)
+        self.send(np, ATTACH,
+                  (self._attach_size(), tuple(sorted(self.dead))),
+                  body_bytes=16 + 8 * len(self.dead))
 
     def _splice_up(self) -> None:
         """Our parent died: re-attach to the nearest live static ancestor

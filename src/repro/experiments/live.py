@@ -23,6 +23,13 @@ the fleet for a wall-clock window (the supervisor's router drops every
 identity over survivors + spools; with ``--compare-sim`` the run is
 cross-checked against the discrete-event simulator (equal UTS node
 counts, equal B&B optima).
+
+``--p2p`` switches the data plane to direct worker<->worker connections
+(the supervisor becomes control plane only), which unlocks elastic
+membership: ``--join 4@1.5s`` spawns worker 4 a second and a half into
+the run (the supervisor assigns its overlay position and announces it),
+``--leave 2@1.5s`` orders worker 2 to drain its pool to its parent and
+depart gracefully.  Both compose with ``--kill`` and ``--partition``.
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ LIVE_PROTOCOLS = tuple(p for p in PROTOCOLS
 
 _KILL_RE = re.compile(r"^(\d+)@(\d+(?:\.\d+)?)(s|u)$")
 _PART_RE = re.compile(r"^(\d+(?:,\d+)*)@(\d+(?:\.\d+)?)-(\d+(?:\.\d+)?)s$")
+_MEMBER_RE = re.compile(r"^(\d+)@(\d+(?:\.\d+)?)s$")
 
 
 def parse_kill(text: str) -> dict:
@@ -75,6 +83,15 @@ def parse_partition(text: str) -> dict:
         raise argparse.ArgumentTypeError(
             f"--partition window must have start < end: {text!r}")
     return {"side": side, "start_s": t0, "end_s": t1}
+
+
+def parse_member(text: str) -> dict:
+    """``PID@<delay>s``: schedule a membership change (join or leave)."""
+    m = _MEMBER_RE.match(text)
+    if not m:
+        raise argparse.ArgumentTypeError(
+            f"bad membership spec {text!r} (want e.g. 4@1.5s)")
+    return {"pid": int(m.group(1)), "after_s": float(m.group(2))}
 
 
 def add_live_arguments(parser: argparse.ArgumentParser) -> None:
@@ -112,6 +129,23 @@ def add_live_arguments(parser: argparse.ArgumentParser) -> None:
                         metavar="PIDS@T0-T1s",
                         help="cut a set of workers off for a wall-clock "
                              "window, then heal: 2,3@0.2-1.2s; implies "
+                             "--fault-tolerance")
+    parser.add_argument("--p2p", action="store_true",
+                        help="peer-to-peer data plane: protocol frames "
+                             "flow worker<->worker; the supervisor is "
+                             "control plane only")
+    parser.add_argument("--peer-port-base", type=int, default=0,
+                        help="p2p tcp: worker PID listens on base+PID "
+                             "(0 = ephemeral ports)")
+    parser.add_argument("--join", action="append", type=parse_member,
+                        default=[], metavar="PID@Ns",
+                        help="spawn a new worker mid-run (pids count up "
+                             "from n): 4@1.5s; implies --p2p and "
+                             "--fault-tolerance")
+    parser.add_argument("--leave", action="append", type=parse_member,
+                        default=[], metavar="PID@Ns",
+                        help="order a worker to drain its pool and depart "
+                             "gracefully: 2@1.5s; implies --p2p and "
                              "--fault-tolerance")
     parser.add_argument("--expect-conserved", action="store_true",
                         help="fail unless the work-conservation identity "
@@ -179,7 +213,12 @@ def live_main(argv: Optional[list] = None) -> int:
         transport=args.transport, port=args.port, run_dir=args.run_dir,
         trace=want_trace, timeout_s=args.timeout,
         fault_tolerance=(args.fault_tolerance or bool(args.kill)
-                         or bool(args.partition)),
+                         or bool(args.partition) or bool(args.join)
+                         or bool(args.leave)),
+        p2p=(args.p2p or bool(args.join) or bool(args.leave)),
+        peer_port_base=args.peer_port_base,
+        joins=tuple(sorted(args.join, key=lambda j: j["pid"])),
+        leaves=tuple(args.leave),
         kills=tuple(args.kill), partitions=tuple(args.partition))
     try:
         live = run_live(cfg)
@@ -203,8 +242,12 @@ def live_main(argv: Optional[list] = None) -> int:
                           unit_cost=unit_cost,
                           extra_meta={"live": True, "run_dir": live.run_dir,
                                       "killed": list(live.killed),
+                                      "joined": list(live.joined),
+                                      "left": list(live.left),
+                                      "p2p": cfg.p2p,
                                       "conserved_units": live.conserved,
-                                      "wall_s": live.wall_s})
+                                      "wall_s": live.wall_s},
+                          links=live.links)
 
     text = report.render()
     if not args.quiet:
@@ -251,4 +294,4 @@ def live_main(argv: Optional[list] = None) -> int:
 
 
 __all__ = ["LIVE_PROTOCOLS", "add_live_arguments", "live_main", "parse_kill",
-           "parse_partition"]
+           "parse_member", "parse_partition"]

@@ -30,8 +30,8 @@ from ..baselines.rws import RWSWorker
 from ..core.config import OCLBConfig
 from ..core.oclb import OverlayWorker
 from ..core.worker import WorkerConfig, WorkerProcess
-from ..overlay.bridges import add_bridges
-from ..overlay.tree import deterministic_tree, random_tree
+from ..overlay.bridges import BridgedTreeOverlay, add_bridges
+from ..overlay.tree import deterministic_tree, graft_leaf, random_tree
 from ..sim.engine import Simulator
 from ..sim.errors import SimConfigError
 from ..sim.faults import FaultPlan
@@ -159,8 +159,8 @@ def _speeds(cfg: RunConfig) -> list[float]:
     return speeds
 
 
-def worker_factory(cfg: RunConfig,
-                   app: Application) -> Callable[[int], WorkerProcess]:
+def worker_factory(cfg: RunConfig, app: Application,
+                   grafts: tuple = ()) -> Callable[[int], WorkerProcess]:
     """A ``pid -> WorkerProcess`` builder for one run configuration.
 
     Shared structures (the overlay, RWS's initial-placement draw, worker
@@ -169,21 +169,45 @@ def worker_factory(cfg: RunConfig,
     always did — and the live runtime (:mod:`repro.runtime`), where each
     OS process only ever constructs *its own* pid, builds workers through
     the same code path instead of a diverging copy.
+
+    ``grafts`` is the elastic-membership history a live joiner boots with:
+    ``((pid, parent), ...)`` in pid order, extending the base overlay with
+    one leaf per past join (including the joiner itself).  Only the tree
+    protocols support it — membership changes are an overlay concept.
     """
     speeds = _speeds(cfg)
 
     def wc_for(p: int) -> WorkerConfig:
+        sp = speeds[p] if p < len(speeds) else 1.0   # joiners run at 1.0
         return WorkerConfig(quantum=cfg.quantum, seed=cfg.seed,
-                            speed=speeds[p], ack_timeout=cfg.ack_timeout,
+                            speed=sp, ack_timeout=cfg.ack_timeout,
                             ack_max_backoff=cfg.ack_max_backoff,
                             breaker_threshold=cfg.breaker_threshold)
 
     proto, n = cfg.protocol, cfg.n
+    if grafts and proto not in ("TD", "BTD", "TR", "BTR"):
+        raise SimConfigError(
+            f"elastic membership (grafts) needs a tree protocol, not {proto}")
     if proto in ("TD", "BTD", "TR", "BTR"):
-        overlay = (deterministic_tree(n, cfg.dmax) if proto.endswith("TD")
-                   else random_tree(n, seed=cfg.seed))
+        tree = (deterministic_tree(n, cfg.dmax) if proto.endswith("TD")
+                else random_tree(n, seed=cfg.seed))
+        bridge: tuple = ()
         if proto.startswith("B"):
-            overlay = add_bridges(overlay, seed=cfg.seed)
+            bridged = add_bridges(tree, seed=cfg.seed)
+            tree, bridge = bridged.tree, bridged.bridge
+        for j, jp in grafts:
+            if j != tree.n:
+                raise SimConfigError(
+                    f"grafts must arrive in pid order: got {j}, "
+                    f"expected {tree.n}")
+            tree = graft_leaf(tree, jp)
+            if proto.startswith("B"):
+                # a joiner's bridge: deterministic per (seed, pid), drawn
+                # over the members that preceded it (never itself)
+                bridge += (RngStream(cfg.seed, "bridge-join", j)
+                           .randrange(j),)
+        overlay = (BridgedTreeOverlay(tree=tree, bridge=bridge)
+                   if proto.startswith("B") else tree)
         oclb = cfg.oclb or OCLBConfig(sharing=cfg.sharing)
         return lambda p: OverlayWorker(p, app, wc_for(p), overlay, oclb)
     if proto == "RWS":

@@ -116,6 +116,9 @@ class RunReport:
     utilization: list[dict] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
     breakers: list[dict] = field(default_factory=list)
+    #: live runs: per-link frame/byte traffic — relay-counted (star) or
+    #: mesh-counted (p2p); empty for simulated runs
+    links: list[dict] = field(default_factory=list)
 
     # -- structured form -----------------------------------------------------
 
@@ -133,6 +136,7 @@ class RunReport:
             "utilization": self.utilization,
             "metrics": self.metrics,
             "breakers": self.breakers,
+            "links": self.links,
         }
 
     # -- human form ----------------------------------------------------------
@@ -197,6 +201,16 @@ class RunReport:
                 [[e["src"], e["dst"], e["count"]] for e in self.transfers],
                 title=f"work transfer matrix "
                       f"({'top edges' if self.meta.get('matrix_elided') else 'all edges'})"))
+        if self.links:
+            parts.append("")
+            parts.append(render_table(
+                ["from", "to", "frames", "payload kB"],
+                [[e["src"], e["dst"], e["frames"], e["bytes"] / 1e3]
+                 for e in self.links],
+                title=f"per-link traffic "
+                      f"({'top links' if self.meta.get('links_elided') else 'all links'}, "
+                      f"{'mesh-counted' if self.meta.get('p2p') else 'relay-counted'})",
+                digits=2))
         if self.utilization:
             parts.append("")
             parts.append(render_table(
@@ -223,8 +237,14 @@ def build_report(cfg: RunConfig, result: ExperimentResult, stats: RunStats,
                  tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  app: str = "?", unit_cost: float = 0.0,
-                 extra_meta: Optional[dict] = None) -> RunReport:
-    """Assemble a :class:`RunReport` from one finished run's artefacts."""
+                 extra_meta: Optional[dict] = None,
+                 links: Optional[dict] = None) -> RunReport:
+    """Assemble a :class:`RunReport` from one finished run's artefacts.
+
+    ``links`` is a live run's per-link traffic: ``(src, dst) ->
+    (frames, payload_bytes)``, counted by the star router while relaying
+    or by each worker's mesh in p2p mode.
+    """
     makespan = stats.makespan
     total_units = stats.total_work_units
     meta = {"app": app, "protocol": cfg.protocol, "n": cfg.n,
@@ -298,6 +318,15 @@ def build_report(cfg: RunConfig, result: ExperimentResult, stats: RunStats,
         "breaker_opens": result.breaker_opens,
     }
 
+    link_rows: list[dict] = []
+    if links:
+        edges = sorted(links.items(), key=lambda kv: (-kv[1][0], kv[0]))
+        if len(edges) > _MATRIX_LIMIT:
+            meta["links_elided"] = True
+            edges = edges[:_MATRIX_LIMIT]
+        link_rows = [{"src": s, "dst": d, "frames": fc, "bytes": bc}
+                     for (s, d), (fc, bc) in edges]
+
     transfers: list[dict] = []
     utilization: list[dict] = []
     breakers: list[dict] = []
@@ -320,7 +349,7 @@ def build_report(cfg: RunConfig, result: ExperimentResult, stats: RunStats,
                      idle_breakdown=idle_breakdown, faults=faults,
                      transfers=transfers, utilization=utilization,
                      metrics=metrics.snapshot() if metrics is not None
-                     else {}, breakers=breakers)
+                     else {}, breakers=breakers, links=link_rows)
 
 
 __all__ = ["REPORT_SCHEMA_VERSION", "RunReport", "breaker_summary",

@@ -185,7 +185,22 @@ def from_parents(parents: Sequence[int], kind: str = "custom") -> TreeOverlay:
     return TreeOverlay(parent=tuple(parents), kind=kind)
 
 
+def graft_leaf(tree: TreeOverlay, parent: int) -> TreeOverlay:
+    """``tree`` plus one new leaf (pid = old n) attached under ``parent``.
+
+    Elastic membership: the live runtime always assigns a joining worker
+    the next pid, so the extended parent vector stays a valid
+    parent-before-child encoding and every member that applies the same
+    graft sequence rebuilds the identical overlay.
+    """
+    if not (0 <= parent < tree.n):
+        raise SimConfigError(
+            f"graft parent {parent} outside the overlay (n={tree.n})")
+    return TreeOverlay(parent=tree.parent + (parent,), kind=tree.kind,
+                       dmax=tree.dmax)
+
+
 __all__ = [
     "TreeOverlay", "deterministic_tree", "random_tree", "star_tree",
-    "chain_tree", "from_parents",
+    "chain_tree", "from_parents", "graft_leaf",
 ]

@@ -139,12 +139,14 @@ class LiveEnv:
     live = True
 
     def __init__(self, pid: int, n: int, conn: FramedConnection, *,
-                 seed: int = 0, fault_mode: bool = False,
+                 mesh=None, seed: int = 0, fault_mode: bool = False,
                  run_dir: Optional[str] = None, metrics=None,
                  debug: bool = False) -> None:
         self.pid = pid
-        self.n = n
+        self.n = n                      # pid slots (base fleet + max joins)
         self.conn = conn
+        #: p2p data plane (repro.runtime.mesh.PeerMesh); None = star mode
+        self.mesh = mesh
         self.seed = seed
         self.debug = debug
         self.metrics = metrics
@@ -190,7 +192,10 @@ class LiveEnv:
             # would only echo the frame back)
             self.queue.push(self.now, self.proc._arrive, arg=msg)
             return
-        self.conn.send_frame(message_to_frame(msg))
+        if self.mesh is not None:
+            self.mesh.send(message_to_frame(msg))
+        else:
+            self.conn.send_frame(message_to_frame(msg))
 
     def deliver(self, msg: Message) -> None:
         """A routed frame arrived for our process."""
@@ -226,6 +231,14 @@ class LiveEnv:
             ch.peer_crashed(pid)
         elif hasattr(proc, "learn_dead"):
             proc.learn_dead(pid)
+
+    def mark_left(self, pid: int) -> None:
+        """Supervisor announced a graceful leave.  Protocol-wise identical
+        to a death — the peer's spool is final, its receive log complete,
+        and the overlay must splice around it — but the supervisor keeps
+        the distinction for the result accounting (a leaver is a survivor:
+        it reported its stats before departing)."""
+        self.mark_dead(pid)
 
     def peer_logged(self, dead_pid: int, src_pid: int, seq: int) -> bool:
         """Read the dead peer's write-ahead spool (its stable receive log).

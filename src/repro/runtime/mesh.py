@@ -1,0 +1,270 @@
+"""Peer-to-peer data plane: direct worker<->worker framed connections.
+
+With ``--p2p`` the supervisor stops relaying protocol traffic and becomes
+a pure control plane (spawn, registry, kill plans, collection).  Every
+worker opens its own listener before saying ``hello``; the supervisor's
+``go`` (and later ``join`` announcements) hand each member its peers'
+endpoints, and a :class:`PeerMesh` then owns the data plane:
+
+* **lazy dialing** — the first frame to a peer opens the connection and
+  introduces us with a ``ph`` (peer-hello) frame; both sides may dial
+  concurrently, in which case each keeps using the connection *it*
+  opened, so the per-direction FIFO property the termination argument
+  relies on is preserved (each direction's frames ride one TCP stream in
+  send order, exactly like the star router's per-connection relay).
+* **membership buffering** — a joining worker may reach a peer before the
+  supervisor's ``join`` announcement does (two independent streams).
+  Frames from a pid we do not yet know are buffered and replayed the
+  moment the control plane introduces it, so the grafted overlay exists
+  locally before any of the joiner's protocol traffic is delivered.
+* **partition emulation** — with no router to drop crossing frames, the
+  sender applies the run's partition windows itself: a frame whose
+  destination is on the far side of an active cut dies here (counted in
+  ``part_drops``), the live analogue of the simulator's partitioned
+  network and the star router's cut.
+* **link accounting** — per-destination frame/byte counters feed the
+  report's per-link traffic table (the star supervisor counts the same
+  thing while relaying).
+
+Everything above the frame level — reliable channel, spools, repair,
+conservation — is unchanged: a lost dial or a closed peer socket is just
+message loss, which the reliable channel already survives.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from typing import Callable, Optional
+
+from .transport import FramedConnection, connect_endpoint, open_listener
+
+#: Worker-to-worker dials are loopback to an already-listening socket;
+#: anything slower than this means the peer is gone.
+DIAL_TIMEOUT_S = 5.0
+
+
+def open_peer_listener(transport: str, host: str, port: int,
+                       run_dir: Optional[str],
+                       pid: int) -> tuple[socket.socket, dict]:
+    """Bind this worker's data-plane listener; returns ``(sock, endpoint)``.
+
+    Unix runs put one socket per pid in the run directory; TCP runs bind
+    the preferred ``port`` (``peer_port_base + pid``, or 0 for ephemeral)
+    and inherit :func:`~repro.runtime.transport.open_listener`'s
+    EADDRINUSE retry + ephemeral fallback — the supervisor distributes
+    whatever endpoint was actually bound, so a collision degrades into a
+    different port, never a failed worker.
+    """
+    if transport == "unix":
+        path = os.path.join(run_dir or ".", f"peer_{pid}.sock")
+        sock, endpoint = open_listener("unix", path=path)
+    else:
+        sock, endpoint = open_listener("tcp", host=host, port=port)
+    sock.setblocking(False)
+    return sock, endpoint
+
+
+class PeerMesh:
+    """One worker's view of the data plane (see module docstring).
+
+    Args:
+        pid: our pid.
+        listener: our (non-blocking) peer listener socket.
+        on_conn: called with each new :class:`FramedConnection` (dialled
+            or accepted) so the reactor can register it for readiness.
+        on_drop: called with each connection the mesh forgets.
+    """
+
+    def __init__(self, pid: int, listener: socket.socket,
+                 on_conn: Optional[Callable] = None,
+                 on_drop: Optional[Callable] = None) -> None:
+        self.pid = pid
+        self.listener = listener
+        self.on_conn = on_conn
+        self.on_drop = on_drop
+        self.conns: list[FramedConnection] = []
+        self.by_pid: dict[int, FramedConnection] = {}   # outbound routing
+        self._pid_of: dict[int, int] = {}               # id(conn) -> pid
+        self.endpoints: dict[int, dict] = {}
+        self.members: set[int] = set()
+        #: frames from pids the control plane has not introduced yet
+        self.pending_frames: dict[int, list[dict]] = {}
+        # sender-side partition emulation; armed at `go`
+        self.partitions: tuple = ()     # ((frozenset(side), t0, t1), ...)
+        self._t_go: Optional[float] = None
+        self.part_drops = 0
+        # per-destination traffic (frames, bytes of stated payload)
+        self.link_frames: dict[int, int] = {}
+        self.link_bytes: dict[int, int] = {}
+
+    # -- membership ----------------------------------------------------------
+
+    def arm(self) -> None:
+        """Start the partition clock (the worker's ``go`` instant)."""
+        self._t_go = time.monotonic()
+
+    def add_member(self, pid: int, endpoint: Optional[dict]) -> list[dict]:
+        """The control plane introduced ``pid``; returns the frames it sent
+        us early, in arrival order, for immediate delivery."""
+        self.members.add(pid)
+        if endpoint is not None:
+            self.endpoints[pid] = endpoint
+        return self.pending_frames.pop(pid, [])
+
+    def drop_peer(self, pid: int) -> list[dict]:
+        """``pid`` is gone (death or graceful leave): drain its connection
+        one last time and forget it.  Returns every frame it managed to
+        deliver — hand those to the protocol *before* announcing the
+        death, the same order the star router guarantees."""
+        self.members.discard(pid)
+        self.endpoints.pop(pid, None)
+        out = self.pending_frames.pop(pid, [])
+        self.by_pid.pop(pid, None)
+        for conn in [c for c in self.conns
+                     if self._pid_of.get(id(c)) == pid]:
+            if not conn.closed:
+                out.extend(f for f in conn.receive()
+                           if f.get("t") == "msg" and f.get("src") == pid)
+            self.forget(conn)
+        return out
+
+    # -- outbound ------------------------------------------------------------
+
+    def _cut(self, dst: int) -> bool:
+        if self._t_go is None or not self.partitions:
+            return False
+        t = time.monotonic() - self._t_go
+        for side, t0, t1 in self.partitions:
+            if t0 <= t < t1 and ((self.pid in side) != (dst in side)):
+                return True
+        return False
+
+    def send(self, frame: dict) -> None:
+        """Queue one ``msg`` frame toward its destination worker.
+
+        Queue only — no bytes leave here.  The worker's reactor flushes
+        (:meth:`flush_all`) strictly *after* committing the write-ahead
+        spool, and that ordering is the whole conservation argument: a
+        frame that escaped before the commit describing it would let a
+        SIGKILL strand (or duplicate) the work it carries."""
+        dst = frame["dst"]
+        if self._cut(dst):
+            self.part_drops += 1
+            return
+        conn = self.by_pid.get(dst)
+        if conn is None or conn.closed or conn.eof:
+            conn = self._dial(dst)
+            if conn is None:
+                return   # peer unreachable: the frame is lost, the
+                         # reliable channel retransmits or recovers
+        self.link_frames[dst] = self.link_frames.get(dst, 0) + 1
+        self.link_bytes[dst] = self.link_bytes.get(dst, 0) + frame.get("b", 0)
+        conn.send_frame(frame)
+
+    def _dial(self, dst: int) -> Optional[FramedConnection]:
+        endpoint = self.endpoints.get(dst)
+        if endpoint is None:
+            return None
+        try:
+            sock = connect_endpoint(endpoint, timeout=DIAL_TIMEOUT_S)
+        except OSError:
+            return None
+        conn = FramedConnection(sock)
+        conn.send_frame({"t": "ph", "pid": self.pid})
+        self.conns.append(conn)
+        self.by_pid[dst] = conn
+        self._pid_of[id(conn)] = dst
+        if self.on_conn is not None:
+            self.on_conn(conn)
+        return conn
+
+    # -- inbound -------------------------------------------------------------
+
+    def accept(self) -> None:
+        """Drain the listener's accept queue (reactor: listener readable)."""
+        while True:
+            try:
+                sock, _addr = self.listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            conn = FramedConnection(sock)
+            self.conns.append(conn)
+            if self.on_conn is not None:
+                self.on_conn(conn)
+
+    def service(self, conn: FramedConnection) -> list[dict]:
+        """Drain one connection; returns the frames ready for delivery.
+
+        ``ph`` frames identify the dialler; ``msg`` frames from a pid the
+        control plane has not introduced yet are buffered (see module
+        docstring) instead of delivered."""
+        out: list[dict] = []
+        for frame in conn.receive():
+            t = frame.get("t")
+            if t == "ph":
+                self._identify(conn, frame["pid"])
+            elif t == "msg":
+                src = frame.get("src")
+                if src in self.members:
+                    out.append(frame)
+                else:
+                    self.pending_frames.setdefault(src, []).append(frame)
+        return out
+
+    def _identify(self, conn: FramedConnection, src: int) -> None:
+        self._pid_of[id(conn)] = src
+        cur = self.by_pid.get(src)
+        if cur is None or cur.closed or cur.eof:
+            # no outbound route yet: reuse the inbound connection.  If we
+            # dialled them concurrently, ours stays the outbound route and
+            # this one is receive-only — each direction keeps one stream.
+            self.by_pid[src] = conn
+
+    # -- reactor plumbing ----------------------------------------------------
+
+    def open_conns(self) -> list[FramedConnection]:
+        """Live connections (for readiness registration)."""
+        return [c for c in self.conns if not c.closed]
+
+    def forget(self, conn: FramedConnection) -> None:
+        """Close and drop one connection (EOF or peer death)."""
+        if conn in self.conns:
+            self.conns.remove(conn)
+        pid = self._pid_of.pop(id(conn), None)
+        if pid is not None and self.by_pid.get(pid) is conn:
+            del self.by_pid[pid]
+        if self.on_drop is not None:
+            self.on_drop(conn)
+        conn.close()
+
+    def flush_all(self) -> bool:
+        """Push queued bytes everywhere; True when every buffer drained."""
+        done = True
+        for conn in self.conns:
+            if conn.wants_write:
+                done = conn.flush() and done
+        return done
+
+    def links_wire(self) -> dict:
+        """JSON-able per-destination (frames, bytes) counters."""
+        return {str(dst): [self.link_frames[dst],
+                           self.link_bytes.get(dst, 0)]
+                for dst in sorted(self.link_frames)}
+
+    def close(self) -> None:
+        for conn in self.conns:
+            conn.close()
+        self.conns.clear()
+        self.by_pid.clear()
+        self._pid_of.clear()
+        try:
+            self.listener.close()
+        except OSError:
+            pass
+
+
+__all__ = ["DIAL_TIMEOUT_S", "PeerMesh", "open_peer_listener"]

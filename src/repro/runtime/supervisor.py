@@ -1,13 +1,22 @@
-"""Live-run supervisor: spawn N workers, route frames, detect deaths.
+"""Live-run supervisor: spawn N workers, detect deaths, collect results.
 
 One supervisor process per live run.  It owns the listener socket, spawns
 ``python -m repro.runtime.worker`` once per pid, and then acts as:
 
-* **router** — workers hold a single connection each; the supervisor
-  relays ``msg`` frames by destination pid.  Relaying preserves arrival
-  order per connection, so the per-(src, dst) FIFO property the tree
-  termination argument relies on holds exactly as it does on the
-  simulator (and on the paper's TCP testbed).
+* **router** (star mode, the default) — workers hold a single connection
+  each; the supervisor relays ``msg`` frames by destination pid.
+  Relaying preserves arrival order per connection, so the per-(src, dst)
+  FIFO property the tree termination argument relies on holds exactly as
+  it does on the simulator (and on the paper's TCP testbed).
+* **control plane** (``p2p=True``) — protocol traffic flows over direct
+  worker<->worker connections (:mod:`repro.runtime.mesh`); the
+  supervisor only spawns, runs the membership :class:`Registry` (each
+  ``hello`` registers a worker's own data-plane endpoint, ``go`` hands
+  every member its peers' addresses), injects faults, schedules elastic
+  membership — mid-run **joins** (spawn a new worker, assign its overlay
+  position, announce it) and graceful **leaves** (order a worker out; it
+  drains its pool to its parent and reports ``left``) — and collects the
+  final reports.
 * **failure detector** — a worker EOF (or child exit) before its ``done``
   report is a death; the supervisor broadcasts ``dead`` announcements and
   the workers' repair machinery splices the overlay around the corpse.
@@ -15,7 +24,7 @@ One supervisor process per live run.  It owns the listener socket, spawns
   victim's OS process, either after a wall delay or once the victim's
   spool shows it has processed a minimum number of units (deterministic
   enough for CI).
-* **collector** — ``done`` reports carry each worker's
+* **collector** — ``done``/``left`` reports carry each worker's
   :class:`~repro.sim.stats.ProcessStats`, metrics snapshot and (fault
   mode) receive log; the supervisor assembles the same
   ``(ExperimentResult, RunStats)`` pair the simulator's
@@ -48,6 +57,7 @@ from ..experiments.runner import ExperimentResult, RunConfig
 from ..obs.export import TraceWriter
 from ..obs.registry import MetricsRegistry
 from ..sim.errors import SimConfigError, SimRuntimeError
+from ..sim.rng import RngStream
 from ..sim.stats import RunStats
 from ..sim.trace import CRASH, PARTITION
 from .codec import stats_from_wire
@@ -59,6 +69,9 @@ _TICK_S = 0.05
 #: Wall grace between an abort broadcast and SIGTERM, and between SIGTERM
 #: and SIGKILL, during teardown.
 _GRACE_S = 2.0
+
+#: Protocols whose overlay supports elastic membership (grafted leaves).
+_TREE_PROTOCOLS = ("TD", "TR", "BTD", "BTR")
 
 
 class LiveRuntimeError(SimRuntimeError):
@@ -87,18 +100,33 @@ class LiveConfig:
     run_dir: Optional[str] = None   # artifacts dir (default: a tempdir)
     trace: bool = False             # per-worker NDJSON shards + merged trace
     fault_tolerance: bool = False   # reliable channel + spools + repair
+    #: peer-to-peer data plane: workers exchange protocol frames over
+    #: direct connections; the supervisor is control plane only
+    p2p: bool = False
+    #: preferred data-plane TCP port for pid p is ``peer_port_base + p``
+    #: (0 = every worker binds an ephemeral port)
+    peer_port_base: int = 0
+    #: planned mid-run joins (p2p only): each ``{"pid": p, "after_s": t}``
+    #: with consecutive pids n, n+1, ... — the supervisor spawns the
+    #: worker t seconds after ``go``, assigns its overlay position and
+    #: announces it to the fleet
+    joins: tuple = ()
+    #: planned graceful leaves (p2p only): each ``{"pid": p, "after_s": t}``
+    #: — the worker drains its pool to its parent and departs
+    leaves: tuple = ()
     #: planned SIGKILLs: each ``{"pid": p, "after_s": t}`` or
     #: ``{"pid": p, "after_units": u}`` (kill once p's spool shows >= u
     #: processed units — the deterministic choice for tests/CI)
     kills: tuple = ()
     #: planned network partitions: each ``{"side": [pids], "start_s": t0,
     #: "end_s": t1}`` (wall seconds after ``go``).  While a window is
-    #: active the supervisor's router drops every ``msg`` frame crossing
-    #: the cut — iptables-free splits at the transport layer.  Control
-    #: frames (``go``/``dead``/``shutdown``) always flow: the supervisor
-    #: itself is never partitioned from its workers, only workers from
-    #: each other, so death announcements and spool recovery keep the
-    #: ``kill -9`` guarantee across splits.
+    #: active every ``msg`` frame crossing the cut is dropped — by the
+    #: star router, or sender-side by each worker's mesh — iptables-free
+    #: splits at the transport layer.  Control frames (``go``/``dead``/
+    #: ``shutdown``/membership news) always flow: the supervisor itself is
+    #: never partitioned from its workers, only workers from each other,
+    #: so death announcements and spool recovery keep the ``kill -9``
+    #: guarantee across splits.
     partitions: tuple = ()
     timeout_s: float = 120.0
     #: live pacing overrides forwarded to the workers (None = the live
@@ -110,6 +138,11 @@ class LiveConfig:
     #: legacy backoff ceiling, threshold 4)
     ack_max_backoff: Optional[float] = None
     breaker_threshold: Optional[int] = None
+
+    @property
+    def slots(self) -> int:
+        """Total pid slots: the base fleet plus every planned join."""
+        return self.n + len(self.joins)
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -127,18 +160,55 @@ class LiveConfig:
         if self.kills and not self.fault_tolerance:
             raise SimConfigError(
                 "planned kills require fault_tolerance=True")
+        if self.joins or self.leaves:
+            if not self.p2p:
+                raise SimConfigError(
+                    "elastic membership (joins/leaves) requires p2p=True")
+            if not self.fault_tolerance:
+                raise SimConfigError(
+                    "elastic membership requires fault_tolerance=True "
+                    "(joins/leaves ride the splice/adopt machinery)")
+            if self.protocol not in _TREE_PROTOCOLS:
+                raise SimConfigError(
+                    f"elastic membership needs a tree protocol "
+                    f"({'/'.join(_TREE_PROTOCOLS)}), not {self.protocol}")
+        join_pids = sorted(j.get("pid") for j in self.joins)
+        if join_pids != list(range(self.n, self.n + len(self.joins))):
+            raise SimConfigError(
+                f"join pids must be consecutive from n={self.n}, "
+                f"got {join_pids}")
+        for j in self.joins:
+            t = j.get("after_s")
+            if not isinstance(t, (int, float)) or t < 0:
+                raise SimConfigError(f"join needs after_s >= 0: {j!r}")
+        kill_pids = {k["pid"] for k in self.kills}
+        seen_leave: set[int] = set()
+        for lv in self.leaves:
+            pid, t = lv.get("pid"), lv.get("after_s")
+            if not isinstance(pid, int) or not (0 < pid < self.slots):
+                raise SimConfigError(
+                    f"leave target must be a non-root pid < n + joins, "
+                    f"got {lv!r}")
+            if pid in seen_leave:
+                raise SimConfigError(f"duplicate leave for pid {pid}")
+            if pid in kill_pids:
+                raise SimConfigError(
+                    f"pid {pid} cannot both leave and be killed")
+            if not isinstance(t, (int, float)) or t < 0:
+                raise SimConfigError(f"leave needs after_s >= 0: {lv!r}")
+            seen_leave.add(pid)
         for p in self.partitions:
             side = p.get("side")
             if (not isinstance(side, (list, tuple)) or not side
-                    or any(not isinstance(q, int) or not (0 <= q < self.n)
-                           for q in side)):
+                    or any(not isinstance(q, int)
+                           or not (0 <= q < self.slots) for q in side)):
                 raise SimConfigError(
-                    f"partition side must be a nonempty list of pids < n, "
-                    f"got {p!r}")
+                    f"partition side must be a nonempty list of pids < "
+                    f"n + joins, got {p!r}")
             uniq = set(side)
             if len(uniq) != len(side):
                 raise SimConfigError(f"partition side has duplicates: {p!r}")
-            if len(uniq) >= self.n:
+            if len(uniq) >= self.slots:
                 raise SimConfigError(
                     f"partition side must leave the other island nonempty "
                     f"(n={self.n}): {p!r}")
@@ -159,6 +229,67 @@ class LiveConfig:
                          seed=self.seed)
 
 
+class Registry:
+    """P2p membership ledger: who exists, where, and under whom.
+
+    The supervisor is the single writer; workers only ever see snapshots
+    (the ``go`` frame) and incremental announcements (``join``/``dead``/
+    ``left``), which is what makes the grafted overlay consistent
+    fleet-wide: every member applies the same ordered join sequence.
+    """
+
+    def __init__(self, cfg: LiveConfig) -> None:
+        self.cfg = cfg
+        self.endpoints: dict[int, dict] = {}   # pid -> data-plane endpoint
+        self.graft_parent: dict[int, int] = {}
+        self.grafts: list[tuple[int, int]] = []   # ordered join history
+        self.dead: set[int] = set()
+        self.left: set[int] = set()
+
+    def registered(self, pid: int) -> bool:
+        return pid in self.endpoints
+
+    def register(self, pid: int, endpoint: Optional[dict]) -> None:
+        """Record one worker's hello; duplicate registrations are refused
+        (the runtime drops the impostor connection instead of raising)."""
+        if pid in self.endpoints:
+            raise LiveRuntimeError(f"duplicate hello from pid {pid}")
+        if endpoint is None:
+            raise LiveRuntimeError(
+                f"p2p worker {pid} sent no data-plane endpoint")
+        self.endpoints[pid] = endpoint
+
+    def assign_parent(self, pid: int) -> int:
+        """The static overlay position of joiner ``pid``.
+
+        Deterministic per (protocol, seed, pid) and always ``< pid``, so
+        the extended parent vector stays a valid parent-before-child
+        encoding on every member: TD trees keep packing by the degree
+        bound, random trees keep drawing uniform earlier nodes — the same
+        rule that built the base overlay.  Liveness is irrelevant: a
+        joiner whose static parent died ATTACHes to the nearest live
+        ancestor, exactly like a post-crash splice.
+        """
+        if self.cfg.protocol.endswith("TD"):
+            return (pid - 1) // max(1, self.cfg.dmax)
+        return RngStream(self.cfg.seed, "join-parent", pid).randrange(pid)
+
+    def add_join(self, pid: int, parent: int) -> None:
+        self.graft_parent[pid] = parent
+        self.grafts.append((pid, parent))
+
+    def mark_dead(self, pid: int) -> None:
+        self.dead.add(pid)
+
+    def mark_left(self, pid: int) -> None:
+        self.left.add(pid)
+
+    def peers(self) -> dict[int, dict]:
+        """Current members' data-plane endpoints (the ``go`` peers map)."""
+        return {pid: ep for pid, ep in self.endpoints.items()
+                if pid not in self.dead and pid not in self.left}
+
+
 @dataclass(slots=True)
 class LiveResult:
     """Everything a live run produced."""
@@ -173,11 +304,17 @@ class LiveResult:
     reports: dict                   # pid -> final worker report
     spools: dict                    # pid -> last spool of each dead worker
     wall_s: float                   # supervisor wall time, spawn to reap
+    joined: tuple[int, ...] = ()    # pids that joined mid-run
+    left: tuple[int, ...] = ()      # pids that left gracefully
+    #: per-link traffic: (src, dst) -> (frames, stated payload bytes) —
+    #: relay counts in star mode, worker-reported mesh counts in p2p
+    links: dict = field(default_factory=dict)
 
 
 class _Worker:
     __slots__ = ("pid", "popen", "conn", "done", "bye", "dead", "closed",
-                 "kill_at", "kill_units", "killed_at")
+                 "kill_at", "kill_units", "killed_at", "joiner",
+                 "announced", "left", "leave_at", "leave_sent")
 
     def __init__(self, pid: int, popen: subprocess.Popen) -> None:
         self.pid = pid
@@ -190,10 +327,15 @@ class _Worker:
         self.kill_at: Optional[float] = None
         self.kill_units: Optional[int] = None
         self.killed_at: Optional[float] = None
+        self.joiner = False        # spawned mid-run (elastic membership)
+        self.announced = False     # fleet has heard of this joiner
+        self.left = False          # departed gracefully (still a survivor)
+        self.leave_at: Optional[float] = None
+        self.leave_sent = False
 
 
-def _worker_json(cfg: LiveConfig, pid: int, endpoint: dict,
-                 run_dir: str) -> str:
+def _worker_json(cfg: LiveConfig, pid: int, endpoint: dict, run_dir: str,
+                 join_parent: Optional[int] = None) -> str:
     run: dict = {"protocol": cfg.protocol, "n": cfg.n, "dmax": cfg.dmax,
                  "sharing": cfg.sharing, "quantum": cfg.quantum,
                  "seed": cfg.seed}
@@ -202,36 +344,53 @@ def _worker_json(cfg: LiveConfig, pid: int, endpoint: dict,
         v = getattr(cfg, name)
         if v is not None:
             run[name] = v
-    return json.dumps({
+    doc = {
         "pid": pid, "endpoint": endpoint, "run": run, "app": cfg.app,
         "fault_mode": cfg.fault_tolerance, "run_dir": run_dir,
         "trace": cfg.trace, "timeout_s": cfg.timeout_s,
-    })
+    }
+    if cfg.p2p:
+        doc["p2p"] = True
+        doc["slots"] = cfg.slots
+        doc["transport"] = cfg.transport
+        doc["host"] = cfg.host
+        doc["peer_port"] = (cfg.peer_port_base + pid
+                            if cfg.peer_port_base else 0)
+        if join_parent is not None:
+            doc["join"] = {"parent": join_parent}
+    return json.dumps(doc)
 
 
-def _spawn(cfg: LiveConfig, endpoint: dict, run_dir: str) -> list[_Worker]:
+def _spawn_one(cfg: LiveConfig, pid: int, endpoint: dict, run_dir: str,
+               join_parent: Optional[int] = None) -> _Worker:
     import repro
     env = os.environ.copy()
     src_dir = os.path.dirname(os.path.dirname(
         os.path.abspath(repro.__file__)))
     env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
-    workers = []
-    for pid in range(cfg.n):
-        log = open(os.path.join(run_dir, f"worker_{pid}.log"), "wb")
-        try:
-            popen = subprocess.Popen(
-                [sys.executable, "-m", "repro.runtime.worker",
-                 _worker_json(cfg, pid, endpoint, run_dir)],
-                stdout=log, stderr=subprocess.STDOUT, env=env)
-        finally:
-            log.close()   # the child holds its own descriptor now
-        w = _Worker(pid, popen)
-        for k in cfg.kills:
-            if k["pid"] == pid:
-                w.kill_at = k.get("after_s")
-                w.kill_units = k.get("after_units")
-        workers.append(w)
-    return workers
+    log = open(os.path.join(run_dir, f"worker_{pid}.log"), "wb")
+    try:
+        popen = subprocess.Popen(
+            [sys.executable, "-m", "repro.runtime.worker",
+             _worker_json(cfg, pid, endpoint, run_dir, join_parent)],
+            stdout=log, stderr=subprocess.STDOUT, env=env)
+    finally:
+        log.close()   # the child holds its own descriptor now
+    w = _Worker(pid, popen)
+    w.joiner = join_parent is not None
+    for k in cfg.kills:
+        if k["pid"] == pid:
+            w.kill_at = k.get("after_s")
+            w.kill_units = k.get("after_units")
+    for lv in cfg.leaves:
+        if lv["pid"] == pid:
+            w.leave_at = lv["after_s"]
+    return w
+
+
+def _spawn(cfg: LiveConfig, endpoint: dict, run_dir: str) -> list[_Worker]:
+    return [_spawn_one(cfg, pid, endpoint, run_dir)
+            for pid in range(cfg.n)]
 
 
 def run_live(cfg: LiveConfig) -> LiveResult:
@@ -254,6 +413,7 @@ def run_live(cfg: LiveConfig) -> LiveResult:
             restore.append((signum, signal.signal(signum, _on_signal)))
 
     workers = _spawn(cfg, endpoint, run_dir)
+    registry = Registry(cfg)
     by_conn: dict = {}
     sel = DefaultSelector()
     sel.register(listener, EVENT_READ, "listener")
@@ -263,6 +423,12 @@ def run_live(cfg: LiveConfig) -> LiveResult:
     reports: dict[int, dict] = {}
     hellos = 0
     shutdown_sent = False
+    # elastic membership schedule: one join in flight at a time so the
+    # announced graft sequence is totally ordered
+    join_queue = sorted(cfg.joins, key=lambda j: j["after_s"])
+    join_pending: Optional[int] = None   # pid spawned, hello not yet seen
+    # per-link relay accounting (star mode; p2p sums worker reports)
+    star_links: dict[tuple[int, int], list] = {}
     # precomputed partition windows; dropped[i] counts frames rule i ate
     part_windows = tuple((frozenset(p["side"]), p["start_s"], p["end_s"])
                          for p in cfg.partitions)
@@ -282,8 +448,26 @@ def run_live(cfg: LiveConfig) -> LiveResult:
     def broadcast(frame: dict, skip: int = -1) -> None:
         for w in workers:
             if (w.conn is not None and not w.dead and not w.closed
-                    and w.pid != skip):
+                    and not w.left and w.pid != skip):
                 w.conn.send_frame(frame)
+
+    def go_frame(elapsed: float = 0.0) -> dict:
+        """The start frame: membership snapshot + shifted fault schedule.
+
+        A mid-run joiner's partition windows are expressed relative to
+        *its* go instant, so the fleet-wide wall windows line up."""
+        if not cfg.p2p:
+            return {"t": "go"}
+        return {
+            "t": "go",
+            "peers": {str(p): ep for p, ep in registry.peers().items()},
+            "grafts": [[a, b] for a, b in registry.grafts],
+            "dead": sorted(registry.dead),
+            "left": sorted(registry.left),
+            "partitions": [[sorted(p["side"]), p["start_s"] - elapsed,
+                            p["end_s"] - elapsed]
+                           for p in cfg.partitions],
+        }
 
     def drop_conn(w: _Worker) -> None:
         if w.conn is not None:
@@ -299,6 +483,10 @@ def run_live(cfg: LiveConfig) -> LiveResult:
             if t == "msg":
                 if partition_cut(frame["src"], frame["dst"]):
                     continue   # severed link: the frame dies at the router
+                link = star_links.setdefault((frame["src"], frame["dst"]),
+                                             [0, 0])
+                link[0] += 1
+                link[1] += frame.get("b", 0)
                 dst = workers[frame["dst"]]
                 if (dst.conn is not None and not dst.dead
                         and not dst.closed):
@@ -306,6 +494,12 @@ def run_live(cfg: LiveConfig) -> LiveResult:
             elif t == "done":
                 w.done = True
                 reports[w.pid] = frame
+            elif t == "left":
+                w.left = True
+                w.done = True   # a leaver is finished for shutdown purposes
+                reports[w.pid] = frame
+                registry.mark_left(w.pid)
+                broadcast({"t": "left", "pid": w.pid}, skip=w.pid)
             elif t == "bye":
                 w.bye = True
                 rep = reports.setdefault(w.pid, {})
@@ -314,15 +508,53 @@ def run_live(cfg: LiveConfig) -> LiveResult:
                         rep[fld] = frame[fld]
 
     def on_death(w: _Worker) -> None:
+        nonlocal join_pending
         if w.dead:
             return
         w.dead = True
+        if join_pending == w.pid:
+            join_pending = None   # joiner died pre-hello: unblock the queue
         drop_conn(w)
+        registry.mark_dead(w.pid)
         if w.killed_at is None and not cfg.fault_tolerance:
             raise LiveRuntimeError(
                 f"worker {w.pid} died unexpectedly "
                 f"(exit {w.popen.poll()}); see {run_dir}/worker_{w.pid}.log")
-        broadcast({"t": "dead", "pid": w.pid})
+        if not w.joiner or w.announced:
+            broadcast({"t": "dead", "pid": w.pid})
+        # a joiner that died before its hello was never announced:
+        # nobody grafted it, so nobody needs the news
+
+    def absorb_hello(conn: FramedConnection, frame: dict) -> None:
+        nonlocal hellos, join_pending
+        hp = frame["pid"]
+        w = workers[hp]
+        if w.conn is not None or (cfg.p2p and registry.registered(hp)):
+            # duplicate hello: keep the first registration, drop this one
+            try:
+                sel.unregister(conn.sock)
+            except KeyError:
+                pass
+            conn.close()
+            return
+        if cfg.p2p:
+            registry.register(hp, frame.get("peer"))
+        w.conn = conn
+        sel.modify(conn.sock, EVENT_READ, w)
+        if not w.joiner:
+            hellos += 1
+            return
+        # a joiner checked in: announce it to the fleet *before* its own
+        # go — members buffer any data-plane frames from a pid they have
+        # not been introduced to, so either order is safe, but this one
+        # minimises buffering
+        parent = registry.graft_parent[hp]
+        w.announced = True
+        broadcast({"t": "join", "pid": hp, "parent": parent,
+                   "endpoint": registry.endpoints.get(hp)}, skip=hp)
+        elapsed = time.monotonic() - t_go if t_go is not None else 0.0
+        w.conn.send_frame(go_frame(elapsed))
+        join_pending = None
 
     try:
         while True:
@@ -353,11 +585,10 @@ def run_live(cfg: LiveConfig) -> LiveResult:
                     conn = key.data
                     for frame in conn.receive():
                         if frame.get("t") == "hello":
-                            w = workers[frame["pid"]]
-                            w.conn = conn
-                            sel.modify(conn.sock, EVENT_READ, w)
-                            hellos += 1
-                    if conn.eof:
+                            absorb_hello(conn, frame)
+                            if conn.closed:
+                                break
+                    if not conn.closed and conn.eof:
                         sel.unregister(conn.sock)
                         conn.close()
                     continue
@@ -368,7 +599,7 @@ def run_live(cfg: LiveConfig) -> LiveResult:
                     w.conn.flush()
                 handle_frames(w)
                 if w.conn.eof:
-                    if shutdown_sent and w.done:
+                    if w.left or (shutdown_sent and w.done):
                         w.closed = True   # orderly exit, not a death
                         drop_conn(w)
                     else:
@@ -378,7 +609,7 @@ def run_live(cfg: LiveConfig) -> LiveResult:
                 t_go = time.monotonic()
                 t_go_epoch = time.time()
                 deadline = t_go + cfg.timeout_s
-                broadcast({"t": "go"})
+                broadcast(go_frame())
 
             # planned fault injection (only before the victim reports done)
             if t_go is not None:
@@ -399,13 +630,36 @@ def run_live(cfg: LiveConfig) -> LiveResult:
                         except OSError:
                             pass
 
+                # elastic membership: spawn the next due join (one at a
+                # time: the graft sequence must be totally ordered), order
+                # due leaves out
+                if (join_queue and join_pending is None
+                        and not shutdown_sent
+                        and time.monotonic() - t_go
+                        >= join_queue[0]["after_s"]):
+                    spec = join_queue.pop(0)
+                    jpid = spec["pid"]
+                    parent = registry.assign_parent(jpid)
+                    registry.add_join(jpid, parent)
+                    w = _spawn_one(cfg, jpid, endpoint, run_dir,
+                                   join_parent=parent)
+                    workers.append(w)
+                    join_pending = jpid
+                for w in workers:
+                    if (w.leave_at is None or w.leave_sent or w.dead
+                            or w.done or w.conn is None):
+                        continue
+                    if time.monotonic() - t_go >= w.leave_at:
+                        w.leave_sent = True
+                        w.conn.send_frame({"t": "leave"})
+
             for w in workers:
                 if (not w.dead and not w.closed
                         and w.popen.poll() is not None):
                     # child exited; drain whatever it flushed before dying
                     if w.conn is not None:
                         handle_frames(w)
-                    if shutdown_sent and w.done:
+                    if w.left or (shutdown_sent and w.done):
                         w.closed = True
                         drop_conn(w)
                     else:
@@ -416,6 +670,7 @@ def run_live(cfg: LiveConfig) -> LiveResult:
                 raise LiveRuntimeError(
                     f"all {cfg.n} workers died; logs in {run_dir}")
             if (not shutdown_sent and t_go is not None
+                    and join_pending is None
                     and all(w.done for w in alive)):
                 shutdown_sent = True
                 broadcast({"t": "shutdown"})
@@ -443,6 +698,9 @@ def run_live(cfg: LiveConfig) -> LiveResult:
         sel.close()
         listener.close()
         unlink_quietly(unix_path)
+        if cfg.p2p and cfg.transport == "unix":
+            for w in workers:
+                unlink_quietly(os.path.join(run_dir, f"peer_{w.pid}.sock"))
         for signum, handler in restore:
             signal.signal(signum, handler)
 
@@ -458,7 +716,8 @@ def run_live(cfg: LiveConfig) -> LiveResult:
 
     return _assemble(cfg, run_dir, workers, reports, killed,
                      t_go_epoch if t_go_epoch is not None else time.time(),
-                     time.monotonic() - t_start, sum(part_dropped))
+                     time.monotonic() - t_start, sum(part_dropped),
+                     star_links)
 
 
 def _reap(workers: list[_Worker]) -> None:
@@ -565,7 +824,8 @@ def _merge_traces(cfg: LiveConfig, run_dir: str, workers: list[_Worker],
     out = os.path.join(run_dir, "trace.ndjson")
     with TraceWriter(out, meta={"live": True, "protocol": cfg.protocol,
                                 "n": cfg.n, "seed": cfg.seed,
-                                "app": cfg.app, "merged_shards": cfg.n,
+                                "app": cfg.app,
+                                "merged_shards": len(workers),
                                 "killed": sorted(
                                     w.pid for w in workers
                                     if w.killed_at is not None)}) as tw:
@@ -576,7 +836,8 @@ def _merge_traces(cfg: LiveConfig, run_dir: str, workers: list[_Worker],
 
 def _assemble(cfg: LiveConfig, run_dir: str, workers: list[_Worker],
               reports: dict, killed: tuple[int, ...], t_go_epoch: float,
-              wall_s: float, part_dropped: int = 0) -> LiveResult:
+              wall_s: float, part_dropped: int = 0,
+              star_links: Optional[dict] = None) -> LiveResult:
     spools = {}
     for w in workers:
         if w.dead:
@@ -584,7 +845,7 @@ def _assemble(cfg: LiveConfig, run_dir: str, workers: list[_Worker],
             if doc is not None:
                 spools[w.pid] = doc
 
-    stats = RunStats.create(cfg.n)
+    stats = RunStats.create(cfg.slots)
     t0s = {pid: float(rep.get("t0", t_go_epoch))
            for pid, rep in reports.items() if "t0" in rep}
     base = min(t0s.values(), default=t_go_epoch)
@@ -620,6 +881,18 @@ def _assemble(cfg: LiveConfig, run_dir: str, workers: list[_Worker],
     stats.work_done_time = work_done
     stats.seal()
 
+    # per-link traffic: the star supervisor counted while relaying; p2p
+    # workers counted at their own mesh and reported
+    links: dict[tuple[int, int], tuple[int, int]] = {}
+    if cfg.p2p:
+        for pid, rep in reports.items():
+            for dst, counts in rep.get("links", {}).items():
+                links[(pid, int(dst))] = (int(counts[0]), int(counts[1]))
+        part_dropped = sum(rep.get("part_drops", 0)
+                           for rep in reports.values())
+    elif star_links:
+        links = {k: tuple(v) for k, v in star_links.items()}
+
     metrics = MetricsRegistry()
     for rep in reports.values():
         if "metrics" in rep:
@@ -650,8 +923,12 @@ def _assemble(cfg: LiveConfig, run_dir: str, workers: list[_Worker],
     return LiveResult(result=result, stats=stats, metrics=metrics,
                       conserved=conserved, killed=killed, run_dir=run_dir,
                       trace_path=trace_path, reports=reports, spools=spools,
-                      wall_s=wall_s)
+                      wall_s=wall_s,
+                      joined=tuple(sorted(w.pid for w in workers
+                                          if w.joiner)),
+                      left=tuple(sorted(w.pid for w in workers if w.left)),
+                      links=links)
 
 
 __all__ = ["LiveAborted", "LiveConfig", "LiveResult", "LiveRuntimeError",
-           "run_live"]
+           "Registry", "run_live"]

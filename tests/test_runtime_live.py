@@ -273,3 +273,67 @@ def test_worker_crash_without_fault_tolerance_fails_loudly(tmp_path):
             run_live(cfg)
     finally:
         run_live.__globals__["_spawn"] = orig
+
+
+# -- p2p data plane + elastic membership -------------------------------------
+
+def test_p2p_clean_run_matches_sequential():
+    """Direct worker<->worker frames explore exactly the same tree, and
+    the mesh's per-link accounting reaches the result."""
+    live = run_live(LiveConfig(protocol="BTD", n=4, app=UTS_TINY, seed=11,
+                               p2p=True, timeout_s=90.0))
+    assert live.result.total_units == TINY_NODES
+    assert live.links                            # mesh-counted traffic
+    assert all(src != dst for src, dst in live.links)
+    # the supervisor relayed nothing: every counted link is worker<->worker
+    sim_res, _ = run_instrumented(
+        LiveConfig(protocol="BTD", n=4, app=UTS_TINY, seed=11,
+                   p2p=True).run_config(),
+        build_app(UTS_TINY)[0])
+    assert live.result.total_units == sim_res.total_units
+
+
+def test_p2p_sigkill_conserves_every_unit(tmp_path):
+    cfg = LiveConfig(protocol="BTD", n=4, app=UTS_TINY, seed=21, p2p=True,
+                     fault_tolerance=True, timeout_s=90.0,
+                     kills=({"pid": 2, "after_units": 150},),
+                     run_dir=str(tmp_path / "run"))
+    live = run_live(cfg)
+    assert live.killed == (2,)
+    assert live.conserved == TINY_NODES          # exact, not approximate
+
+
+def test_p2p_join_leave_and_kill_compose(tmp_path):
+    """The full elastic-membership lifecycle in one run: a worker joins
+    mid-run (grafted by the registry), another drains out gracefully, a
+    third is SIGKILLed — and the conservation identity stays exact."""
+    cfg = LiveConfig(protocol="BTD", n=4, app=UTS_TINY, seed=23, p2p=True,
+                     fault_tolerance=True, timeout_s=90.0,
+                     joins=({"pid": 4, "after_s": 0.07},),
+                     leaves=({"pid": 2, "after_s": 0.04},),
+                     kills=({"pid": 3, "after_units": 100},),
+                     run_dir=str(tmp_path / "run"))
+    live = run_live(cfg)
+    assert live.joined == (4,)
+    assert live.left == (2,)
+    assert live.killed == (3,)
+    assert live.conserved == TINY_NODES
+    # the leaver is a survivor: its stats flowed into the report and its
+    # row is not marked crashed
+    assert live.stats.per_process[2].crashes == 0
+    assert live.stats.per_process[3].crashes == 1
+
+
+def test_p2p_join_during_partition_conserves(tmp_path):
+    """A worker joining while the fleet is split must attach through the
+    reachable side (or retry past the cut) without losing a unit —
+    membership news rides the control plane, which partitions never cut."""
+    cfg = LiveConfig(protocol="BTD", n=4, app=UTS_TINY, seed=29, p2p=True,
+                     fault_tolerance=True, timeout_s=90.0,
+                     joins=({"pid": 4, "after_s": 0.06},),
+                     partitions=({"side": [1, 3], "start_s": 0.03,
+                                  "end_s": 0.4},),
+                     run_dir=str(tmp_path / "run"))
+    live = run_live(cfg)
+    assert live.joined == (4,)
+    assert live.conserved == TINY_NODES

@@ -1,0 +1,240 @@
+"""Unit tests for the p2p data plane (:mod:`repro.runtime.mesh`) and the
+supervisor's membership :class:`~repro.runtime.supervisor.Registry`.
+
+These pin the handshake/registry protocol without spawning processes:
+meshes talk to each other over real loopback sockets inside one process,
+so the early-frame buffering, peer-hello identification and sender-side
+partition behaviour are exercised on the actual transport.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.runtime.mesh import PeerMesh, open_peer_listener
+from repro.runtime.supervisor import LiveConfig, Registry
+from repro.sim.errors import SimConfigError
+from repro.runtime.supervisor import LiveRuntimeError
+
+
+def make_mesh(pid: int) -> PeerMesh:
+    listener, endpoint = open_peer_listener("tcp", "127.0.0.1", 0, None, pid)
+    mesh = PeerMesh(pid, listener)
+    mesh.endpoint = endpoint   # test-side convenience
+    return mesh
+
+
+def pump(mesh: PeerMesh, until, *senders: PeerMesh,
+         timeout: float = 5.0) -> list[dict]:
+    """Accept + service everything until ``until(mesh, delivered)``.
+
+    ``senders`` are flushed every round: :meth:`PeerMesh.send` only
+    queues (bytes must never leave ahead of the spool commit), so the
+    test plays the reactor's post-commit ``flush_all`` role here.
+    """
+    delivered: list[dict] = []
+    end = time.monotonic() + timeout
+    while time.monotonic() < end:
+        for s in senders:
+            s.flush_all()
+        mesh.accept()
+        for conn in list(mesh.open_conns()):
+            delivered.extend(mesh.service(conn))
+        if until(mesh, delivered):
+            return delivered
+        time.sleep(0.005)
+    raise AssertionError(f"pump timed out; delivered={delivered}, "
+                         f"pending={mesh.pending_frames}")
+
+
+def msg(src: int, dst: int, seq: int = 0) -> dict:
+    return {"t": "msg", "src": src, "dst": dst, "kind": "STEAL_REQ",
+            "p": seq, "b": 12}
+
+
+class TestPeerMeshDataPlane:
+    def test_frames_flow_between_introduced_peers(self):
+        a, b = make_mesh(0), make_mesh(1)
+        try:
+            a.add_member(1, b.endpoint)
+            b.add_member(0, a.endpoint)
+            a.send(msg(0, 1))
+            got = pump(b, lambda m, d: d, a)
+            assert [f["p"] for f in got] == [0]
+            assert a.link_frames[1] == 1 and a.link_bytes[1] == 12
+        finally:
+            a.close()
+            b.close()
+
+    def test_early_frames_buffer_until_membership_arrives(self):
+        # A joiner can dial a peer before the supervisor's join
+        # announcement reaches that peer (two independent streams): the
+        # frames must buffer, invisible to the protocol, and replay in
+        # arrival order the moment the control plane introduces the pid.
+        joiner, old = make_mesh(4), make_mesh(1)
+        try:
+            joiner.add_member(1, old.endpoint)
+            # `old` has NOT been told about pid 4
+            joiner.send(msg(4, 1, seq=7))
+            joiner.send(msg(4, 1, seq=8))
+            pump(old, lambda m, d: len(m.pending_frames.get(4, ())) == 2,
+                 joiner)
+            assert old.pending_frames[4][0]["p"] == 7   # arrival order kept
+            replay = old.add_member(4, None)
+            assert [f["p"] for f in replay] == [7, 8]
+            assert old.pending_frames == {}             # drained, not copied
+        finally:
+            joiner.close()
+            old.close()
+
+    def test_peer_hello_identifies_inbound_connection(self):
+        a, b = make_mesh(0), make_mesh(1)
+        try:
+            a.add_member(1, b.endpoint)
+            b.add_member(0, a.endpoint)
+            a.send(msg(0, 1))           # dial carries the ph introduction
+            pump(b, lambda m, d: d, a)
+            # b learned the dialler's pid and reuses the inbound
+            # connection as its route back (b never dialled itself)
+            assert 0 in b.by_pid
+            b.send(msg(1, 0, seq=3))
+            got = pump(a, lambda m, d: d, b)
+            assert [f["p"] for f in got] == [3]
+        finally:
+            a.close()
+            b.close()
+
+    def test_concurrent_cross_dial_keeps_per_direction_streams(self):
+        a, b = make_mesh(0), make_mesh(1)
+        try:
+            a.add_member(1, b.endpoint)
+            b.add_member(0, a.endpoint)
+            a.send(msg(0, 1, seq=1))    # a dials b
+            b.send(msg(1, 0, seq=2))    # b dials a concurrently
+            got_b = pump(b, lambda m, d: d, a)
+            got_a = pump(a, lambda m, d: d, b)
+            assert [f["p"] for f in got_b] == [1]
+            assert [f["p"] for f in got_a] == [2]
+            # each side keeps using the connection IT dialled outbound
+            assert a.by_pid[1] is not b.by_pid[0]
+            a.send(msg(0, 1, seq=9))
+            assert [f["p"] for f in pump(b, lambda m, d: d, a)] == [9]
+        finally:
+            a.close()
+            b.close()
+
+    def test_partition_window_drops_sender_side(self):
+        a, b = make_mesh(0), make_mesh(1)
+        try:
+            a.add_member(1, b.endpoint)
+            b.add_member(0, a.endpoint)
+            a.partitions = ((frozenset({1}), 0.0, 30.0),)
+            a.arm()
+            a.send(msg(0, 1))           # crosses the cut: dies at the sender
+            assert a.part_drops == 1
+            assert 1 not in a.link_frames      # never counted as sent
+            # same-side traffic is unaffected by the window
+            a.partitions = ((frozenset({0, 1}), 0.0, 30.0),)
+            a.send(msg(0, 1, seq=5))
+            assert a.part_drops == 1
+            assert [f["p"] for f in pump(b, lambda m, d: d, a)] == [5]
+        finally:
+            a.close()
+            b.close()
+
+    def test_drop_peer_drains_last_frames_and_forgets(self):
+        a, b = make_mesh(0), make_mesh(1)
+        try:
+            a.add_member(1, b.endpoint)
+            b.add_member(0, a.endpoint)
+            a.send(msg(0, 1, seq=1))
+            pump(b, lambda m, d: d, a)
+            a.send(msg(0, 1, seq=2))    # in flight when the death lands
+            a.flush_all()
+            time.sleep(0.05)
+            leftovers = b.drop_peer(0)
+            assert [f["p"] for f in leftovers] == [2]
+            assert 0 not in b.by_pid and 0 not in b.members
+        finally:
+            a.close()
+            b.close()
+
+
+class TestRegistry:
+    def cfg(self, **kw) -> LiveConfig:
+        base = dict(protocol="BTD", n=4, p2p=True, fault_tolerance=True,
+                    joins=({"pid": 4, "after_s": 0.1},))
+        base.update(kw)
+        return LiveConfig(**base)
+
+    def test_duplicate_registration_is_refused(self):
+        reg = Registry(self.cfg())
+        reg.register(1, {"kind": "tcp", "host": "h", "port": 1})
+        with pytest.raises(LiveRuntimeError, match="duplicate hello"):
+            reg.register(1, {"kind": "tcp", "host": "h", "port": 2})
+        # the first registration survives the rejected impostor
+        assert reg.endpoints[1]["port"] == 1
+
+    def test_registration_requires_an_endpoint(self):
+        reg = Registry(self.cfg())
+        with pytest.raises(LiveRuntimeError, match="endpoint"):
+            reg.register(2, None)
+
+    def test_assign_parent_is_deterministic_and_valid(self):
+        # TD trees keep packing by the degree bound...
+        reg = Registry(self.cfg(dmax=3))
+        assert reg.assign_parent(4) == 1
+        # ...random trees keep drawing uniform earlier nodes, stable per
+        # (seed, pid) so every member grafts the identical leaf
+        cfg = self.cfg(protocol="BTR", seed=7)
+        parents = {Registry(cfg).assign_parent(5) for _ in range(5)}
+        assert len(parents) == 1
+        assert 0 <= parents.pop() < 5
+
+    def test_peers_excludes_the_departed(self):
+        reg = Registry(self.cfg())
+        for pid in range(3):
+            reg.register(pid, {"kind": "tcp", "host": "h", "port": pid})
+        reg.mark_dead(1)
+        reg.mark_left(2)
+        assert set(reg.peers()) == {0}
+
+
+class TestElasticMembershipConfig:
+    def test_joins_require_p2p(self):
+        with pytest.raises(SimConfigError, match="p2p"):
+            LiveConfig(n=4, fault_tolerance=True,
+                       joins=({"pid": 4, "after_s": 0.1},))
+
+    def test_joins_require_fault_tolerance(self):
+        with pytest.raises(SimConfigError, match="fault_tolerance"):
+            LiveConfig(n=4, p2p=True, joins=({"pid": 4, "after_s": 0.1},))
+
+    def test_join_pids_must_be_consecutive_from_n(self):
+        with pytest.raises(SimConfigError, match="consecutive"):
+            LiveConfig(n=4, p2p=True, fault_tolerance=True,
+                       joins=({"pid": 6, "after_s": 0.1},))
+
+    def test_leave_cannot_target_root_or_kill_victim(self):
+        with pytest.raises(SimConfigError, match="non-root"):
+            LiveConfig(n=4, p2p=True, fault_tolerance=True,
+                       leaves=({"pid": 0, "after_s": 0.1},))
+        with pytest.raises(SimConfigError, match="both leave and be killed"):
+            LiveConfig(n=4, p2p=True, fault_tolerance=True,
+                       kills=({"pid": 2, "after_s": 0.5},),
+                       leaves=({"pid": 2, "after_s": 0.1},))
+
+    def test_membership_needs_a_tree_protocol(self):
+        with pytest.raises(SimConfigError, match="tree protocol"):
+            LiveConfig(protocol="RWS", n=4, p2p=True, fault_tolerance=True,
+                       joins=({"pid": 4, "after_s": 0.1},))
+
+    def test_partition_sides_may_include_joiner_slots(self):
+        cfg = LiveConfig(protocol="BTD", n=4, p2p=True,
+                         fault_tolerance=True,
+                         joins=({"pid": 4, "after_s": 0.1},),
+                         partitions=({"side": [4], "start_s": 0.2,
+                                      "end_s": 0.4},))
+        assert cfg.slots == 5

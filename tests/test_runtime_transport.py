@@ -128,3 +128,42 @@ def test_unix_listener_requires_path():
 def test_unknown_transport_rejected():
     with pytest.raises(WireError):
         open_listener("carrier-pigeon")
+
+
+def test_peer_listener_survives_port_collision():
+    # Two p2p workers can race for the same preferred data-plane port
+    # (peer_port_base collisions, or a stale run tearing down).  The
+    # worker-side listener must inherit open_listener's EADDRINUSE retry
+    # + ephemeral fallback: the second worker comes up on a different
+    # port and advertises the endpoint it actually bound, never failing
+    # the run.
+    from repro.runtime.mesh import open_peer_listener
+
+    sock1, ep1 = open_peer_listener("tcp", "127.0.0.1", 0, None, pid=1)
+    try:
+        busy = ep1["port"]
+        sock2, ep2 = open_peer_listener("tcp", "127.0.0.1", busy, None,
+                                        pid=2)
+        try:
+            assert ep2["kind"] == "tcp"
+            assert ep2["port"] != busy          # fell back, did not fail
+            assert not sock2.getblocking()      # reactor-ready
+            # the advertised endpoint is the one that actually accepts
+            client = connect_endpoint(ep2)
+            try:
+                server = None
+                for _ in range(100):
+                    try:
+                        server, _addr = sock2.accept()
+                        break
+                    except BlockingIOError:
+                        import time
+                        time.sleep(0.01)
+                assert server is not None
+                server.close()
+            finally:
+                client.close()
+        finally:
+            sock2.close()
+    finally:
+        sock1.close()
