@@ -14,7 +14,8 @@ per-metric (:data:`TOLERANCES`): the event-queue rate is held to 3% — the
 observability hooks of ``repro.obs`` must stay no-ops when no registry is
 attached, and a hot-path branch would show up exactly here — while the
 NumPy-heavy kernels get wider bands because their throughput moves with
-machine load.
+machine load. Latency-style metrics (:data:`LOWER_IS_BETTER`) band
+upward instead: they fail above ``baseline * (1 + tolerance)``.
 
 Both recordings carry a machine-calibration rate (a raw-heapq loop in
 ``record.py`` that no library change can touch). When present on both
@@ -78,8 +79,23 @@ TOLERANCES = {
     # wall-clock drift, so the bands are generous
     "faults_partition_units_per_wall_s": 0.5,
     "faults_gray_units_per_wall_s": 0.5,
+    # service layer (BENCH_service.json baseline): sustained loadgen
+    # throughput over warm lanes, and accept-to-terminal p99 (queue wait
+    # included, with a rolling restart mid-stream — so the latency band
+    # is the widest in the file; the gate is for a stalled queue or a
+    # recycle storm, not scheduler jitter)
+    "service_jobs_per_s": 0.5,
+    "service_p99_latency_s": 1.0,
 }
 DEFAULT_TOLERANCE = 0.25
+
+#: Metrics where *smaller* is better (latencies): the band is a ceiling
+#: — fail above ``baseline * (1 + tolerance)`` — and the calibration
+#: correction divides instead of multiplies (a slower gate machine
+#: inflates latencies by the same factor it deflates rates).
+LOWER_IS_BETTER = {
+    "service_p99_latency_s",
+}
 
 #: A fresh rate this far *above* baseline prints a re-record hint.
 IMPROVEMENT_HINT = 0.25
@@ -120,24 +136,43 @@ def check(fresh: dict[str, float], baseline: dict[str, float],
     for name in sorted(baseline):
         base = baseline[name]
         tol = TOLERANCES.get(name, DEFAULT_TOLERANCE) * tol_scale
+        lower_better = name in LOWER_IS_BETTER
         if name not in fresh:
             failures.append(f"{name}: missing from the fresh recording")
             lines.append(f"{name:34s} {base:>12,.0f} {'-':>12s} "
                          f"{'-':>7s} {tol:>6.0%}  MISSING")
             continue
-        now = fresh[name] * calib_scale
-        ratio = now / base if base else float("inf")
-        floor = 1.0 - tol
-        if ratio < floor:
-            status = "REGRESSION"
-            failures.append(
-                f"{name}: {now:,.0f} vs baseline {base:,.0f} "
-                f"({ratio:.3f}x < {floor:.3f}x floor)")
-        elif ratio > 1.0 + IMPROVEMENT_HINT:
-            status = "ok (improved — consider re-recording the baseline)"
+        if lower_better:
+            now = fresh[name] / calib_scale if calib_scale else fresh[name]
         else:
-            status = "ok"
-        lines.append(f"{name:34s} {base:>12,.0f} {now:>12,.0f} "
+            now = fresh[name] * calib_scale
+        ratio = now / base if base else float("inf")
+        if lower_better:
+            ceiling = 1.0 + tol
+            if ratio > ceiling:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name}: {now:,.4f} vs baseline {base:,.4f} "
+                    f"({ratio:.3f}x > {ceiling:.3f}x ceiling)")
+            elif ratio < 1.0 - IMPROVEMENT_HINT:
+                status = ("ok (improved — consider re-recording the "
+                          "baseline)")
+            else:
+                status = "ok"
+        else:
+            floor = 1.0 - tol
+            if ratio < floor:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name}: {now:,.0f} vs baseline {base:,.0f} "
+                    f"({ratio:.3f}x < {floor:.3f}x floor)")
+            elif ratio > 1.0 + IMPROVEMENT_HINT:
+                status = ("ok (improved — consider re-recording the "
+                          "baseline)")
+            else:
+                status = "ok"
+        prec = 4 if (lower_better or base < 100) else 0
+        lines.append(f"{name:34s} {base:>12,.{prec}f} {now:>12,.{prec}f} "
                      f"{ratio:>6.3f}x {tol:>6.0%}  {status}")
     for name in sorted(set(fresh) - set(baseline)):
         lines.append(f"{name:34s} {'-':>12s} {fresh[name]:>12,.0f} "

@@ -51,6 +51,18 @@ loop cannot land silently. Writes ``BENCH_shard.json``; the CI
 ``shard-smoke`` job re-records with ``--quick`` and gates via
 ``check_regression.py --baseline benchmarks/BENCH_shard.json``.
 
+The ``serve`` mode (``python benchmarks/record.py serve``) measures the
+long-lived service layer (:mod:`repro.serve`) the way a caller sees it:
+an in-process daemon with two warm lanes fields 100 jobs from 4
+concurrent submitters (every 10th poisoned, a rolling restart fired
+mid-stream), and the recording asserts every accepted job is accounted
+— done or dead-lettered — before writing sustained ``jobs_per_s`` and
+accept-to-terminal p50/p99 into ``BENCH_service.json``. The gate holds
+``service_jobs_per_s`` to a floor and ``service_p99_latency_s`` to a
+ceiling (the one lower-is-better metric in the gate). The CI
+``serve-smoke`` job re-records with ``--quick`` and gates via
+``check_regression.py --baseline benchmarks/BENCH_service.json``.
+
 ``--quick`` shrinks the kernel budgets (CI-sized: the regression gate in
 ``check_regression.py`` runs ``kernels --quick`` on every PR); ``--out``
 redirects the JSON so a fresh recording can be compared against the
@@ -591,6 +603,68 @@ def shard_bench(quick=False, out=None, jobs=0):
     print(f"wrote {out}")
 
 
+def serve_bench(quick=False, out=None):
+    """Service layer under sustained load (``BENCH_service.json``).
+
+    The workload is identical in both modes — 100 jobs of the default
+    mix from 4 submitters, poison every 10th, rolling restart at
+    submission 40 — because the whole run costs seconds, so there is
+    nothing for ``--quick`` to trim and a CI re-recording stays
+    apples-to-apples with the committed baseline. The accounting
+    invariant is asserted at recording time: a service that loses a job
+    cannot record a green baseline.
+    """
+    import shutil
+
+    from repro.serve.daemon import ServeConfig, ServeDaemon
+    from repro.serve.loadgen import run_loadgen
+
+    _eq_rate, calib_rate = gated_rates()
+    daemon = ServeDaemon(ServeConfig(lanes=2, n=2, queue_limit=16,
+                                     job_timeout_s=60.0))
+    daemon.start()
+    try:
+        doc = run_loadgen(daemon.address, jobs=100, submitters=4,
+                          poison_every=10, restart_at=40,
+                          job_timeout_s=60.0, wait_timeout_s=300.0)
+    finally:
+        daemon.stop()
+        shutil.rmtree(daemon.run_dir, ignore_errors=True)
+
+    assert doc["all_accounted"], f"lost jobs: {doc}"
+    assert not doc["errors"], doc["errors"]
+    assert doc["dead_lettered"] == 10, \
+        f"poison every 10th of 100 must dead-letter 10: {doc}"
+    assert doc["restart"] and doc["restart"].get("ok"), \
+        f"mid-stream rolling restart failed: {doc['restart']}"
+
+    after = {
+        "service_jobs_per_s": doc["jobs_per_s"],
+        "service_p99_latency_s": doc["p99_s"],
+    }
+    report = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cores": os.cpu_count(),
+        "quick": quick,
+        "calibration_ops_per_s": round(calib_rate),
+        # context, not gated: the full loadgen document (latency is
+        # accept -> terminal, queue wait included)
+        "loadgen": doc,
+        "metrics": {name: {"after": value} for name, value in after.items()},
+    }
+    out = (pathlib.Path(out) if out
+           else pathlib.Path(__file__).with_name("BENCH_service.json"))
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"{doc['completed']}/{doc['jobs']} done "
+          f"(+{doc['dead_lettered']} dead-lettered, "
+          f"{doc['busy_retries']} busy retries) in {doc['wall_s']}s")
+    print(f"service_jobs_per_s      {after['service_jobs_per_s']:>10}")
+    print(f"service_p99_latency_s   {after['service_p99_latency_s']:>10}"
+          f"   (p50 {doc['p50_s']}s, mean {doc['mean_s']}s)")
+    print(f"wrote {out}")
+
+
 def kernels(quick=False, out=None):
     eq_rate, calib_rate = gated_rates()
     if quick:
@@ -642,7 +716,7 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("mode", nargs="?", default="kernels",
                         choices=("kernels", "harness", "faults", "live",
-                                 "scale", "shard"))
+                                 "scale", "shard", "serve"))
     parser.add_argument("--jobs", type=int, default=0,
                         help="pool size for harness mode / shard count for "
                              "shard mode (0 = auto)")
@@ -662,6 +736,8 @@ def main(argv=None):
         scale_bench(quick=args.quick, out=args.out)
     elif args.mode == "shard":
         shard_bench(quick=args.quick, out=args.out, jobs=args.jobs)
+    elif args.mode == "serve":
+        serve_bench(quick=args.quick, out=args.out)
     else:
         kernels(quick=args.quick, out=args.out)
 

@@ -17,7 +17,9 @@ Subcommands (each has its own ``--help``):
   report format, with optional fault injection and simulator
   cross-validation (:mod:`repro.experiments.live`);
 * ``scale`` — the macro-event engine's fleet-scale sweep
-  (:mod:`repro.experiments.scale`).
+  (:mod:`repro.experiments.scale`);
+* ``serve`` — the long-lived work-distribution daemon over a warm
+  live fleet (:mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -37,6 +39,9 @@ SUBCOMMANDS = {
     "scale": "fleet-scale sweep of the macro-event engine "
              "(10^4-node runs on one host; --shards K runs the fleet "
              "sharded over K cores)",
+    "serve": "start the long-lived work-distribution daemon: a stream "
+             "of jobs over one warm live fleet, with admission control "
+             "(see docs/serve.md)",
 }
 
 
@@ -52,6 +57,9 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "scale":
         from .scale import scale_main
         return scale_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from ..serve.daemon import serve_main
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables/figures of 'Overlay-Centric "

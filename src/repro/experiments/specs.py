@@ -25,6 +25,7 @@ import dataclasses
 from dataclasses import dataclass, field
 
 from ..apps.bnb_app import BNB_UNIT_COST, BnBApplication
+from ..apps.synthetic import SyntheticApplication
 from ..apps.uts_app import UTS_UNIT_COST, UTSApplication
 from ..bnb.flowshop import FlowshopInstance
 from ..bnb.neh import neh as neh_heuristic
@@ -94,6 +95,28 @@ class BnBSpec:
         return self.build()
 
 
-AppSpec = UTSSpec | BnBSpec
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """A divisible synthetic workload of ``units`` identical work units.
 
-__all__ = ["AppSpec", "BnBSpec", "UTSSpec", "is_spec"]
+    The cheap oracle workload (total processed must equal ``units``
+    exactly), used by tests and by the :mod:`repro.serve` job stream
+    where per-job wall time must be small and verifiable.
+    """
+
+    units: int
+    unit_cost: float = 1e-5
+
+    def cache_key(self) -> tuple:
+        return ("synthetic", self.units, self.unit_cost)
+
+    def build(self) -> SyntheticApplication:
+        return SyntheticApplication(self.units, unit_cost=self.unit_cost)
+
+    def __call__(self) -> SyntheticApplication:
+        return self.build()
+
+
+AppSpec = UTSSpec | BnBSpec | SyntheticSpec
+
+__all__ = ["AppSpec", "BnBSpec", "SyntheticSpec", "UTSSpec", "is_spec"]

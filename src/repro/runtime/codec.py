@@ -32,6 +32,7 @@ from typing import Any, Iterator
 
 import numpy as np
 
+from ..apps.synthetic import SyntheticWork
 from ..bnb.work import BnBWork
 from ..sim.errors import SimRuntimeError
 from ..sim.messages import Message, sized
@@ -79,6 +80,8 @@ def to_wire(obj: Any) -> Any:
     if isinstance(obj, BnBWork):
         return {"__bnb": {"n": obj.n_jobs,
                           "i": [[int(a), int(b)] for a, b in obj.as_tuples()]}}
+    if isinstance(obj, SyntheticWork):
+        return {"__syn": obj.units}
     raise WireError(f"cannot wire-encode {type(obj).__name__}: {obj!r}")
 
 
@@ -106,6 +109,8 @@ def from_wire(obj: Any) -> Any:
                                depths=np.array(body["d"], dtype=np.int32))
             if tag == "__bnb":
                 return BnBWork(body["n"], [(a, b) for a, b in body["i"]])
+            if tag == "__syn":
+                return SyntheticWork(body)
         raise WireError(f"unknown wire tag in {sorted(obj)!r}")
     return obj
 

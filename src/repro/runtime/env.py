@@ -160,6 +160,11 @@ class LiveEnv:
         self.run_dir = run_dir
         self.proc = None
         self._spool_cache: dict[int, Optional[dict]] = {}
+        #: stamped onto every outbound ``msg`` frame as ``"j"`` when set —
+        #: the :mod:`repro.serve` job hosts multiplex successive jobs over
+        #: one warm fleet and use the tag to drop stragglers from an
+        #: earlier job's epoch (None = single-job runs, no tag, no change)
+        self.frame_tag: Optional[int] = None
 
     # -- wiring ----------------------------------------------------------------
 
@@ -192,10 +197,13 @@ class LiveEnv:
             # would only echo the frame back)
             self.queue.push(self.now, self.proc._arrive, arg=msg)
             return
+        frame = message_to_frame(msg)
+        if self.frame_tag is not None:
+            frame["j"] = self.frame_tag
         if self.mesh is not None:
-            self.mesh.send(message_to_frame(msg))
+            self.mesh.send(frame)
         else:
-            self.conn.send_frame(message_to_frame(msg))
+            self.conn.send_frame(frame)
 
     def deliver(self, msg: Message) -> None:
         """A routed frame arrived for our process."""

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import signal
 import subprocess
 import sys
@@ -299,6 +300,9 @@ class LiveResult:
     metrics: MetricsRegistry        # merged across workers
     conserved: Optional[int]        # fault mode: the four-place identity
     killed: tuple[int, ...]         # pids actually SIGKILLed
+    #: artefacts dir.  When it was a default tempdir and the run completed
+    #: cleanly without tracing, the dir is removed before return (nothing
+    #: in the result points into it); the path is kept for reference.
     run_dir: str
     trace_path: Optional[str]
     reports: dict                   # pid -> final worker report
@@ -714,10 +718,19 @@ def run_live(cfg: LiveConfig) -> LiveResult:
         if not w.dead and w.pid not in reports:
             raise LiveRuntimeError(f"worker {w.pid} never reported done")
 
-    return _assemble(cfg, run_dir, workers, reports, killed,
-                     t_go_epoch if t_go_epoch is not None else time.time(),
-                     time.monotonic() - t_start, sum(part_dropped),
-                     star_links)
+    out = _assemble(cfg, run_dir, workers, reports, killed,
+                    t_go_epoch if t_go_epoch is not None else time.time(),
+                    time.monotonic() - t_start, sum(part_dropped),
+                    star_links)
+    if cfg.run_dir is None and not cfg.trace:
+        # the default tempdir's artefacts (logs, spools) are all absorbed
+        # into the result by now; on a clean run nothing points back into
+        # it, so it is removed instead of leaking one dir per run.  Any
+        # failure raises before this line — the logs survive for
+        # debugging — and an explicit cfg.run_dir is the user's to keep.
+        # Traced runs keep theirs too: result.trace_path lives inside.
+        shutil.rmtree(run_dir, ignore_errors=True)
+    return out
 
 
 def _reap(workers: list[_Worker]) -> None:

@@ -88,6 +88,11 @@ def build_app(spec: dict) -> tuple[Application, str]:
                      warm_start=spec.get("warm_start", True))
         return bs.build(), (f"bnb/ta{20 + spec['index']}"
                             f"@{spec['jobs']}x{spec['machines']}")
+    if spec["kind"] == "synthetic":
+        from ..apps.synthetic import SyntheticApplication
+        app = SyntheticApplication(int(spec["units"]),
+                                   unit_cost=spec.get("unit_cost", 1e-5))
+        return app, f"synthetic/{spec['units']}"
     raise SystemExit(f"unknown app kind {spec.get('kind')!r}")
 
 

@@ -1,0 +1,8 @@
+"""``python -m repro.serve``: start the work-distribution daemon."""
+
+import sys
+
+from .daemon import serve_main
+
+if __name__ == "__main__":
+    sys.exit(serve_main())

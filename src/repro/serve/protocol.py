@@ -1,0 +1,136 @@
+"""Wire schema of the serve API: newline-delimited JSON, shallow validation.
+
+One request per line, one response per line, UTF-8 JSON objects.  Every
+response carries ``"ok": true`` or ``"ok": false`` plus ``"error"`` (a
+stable machine-readable code) and optionally ``"detail"`` (human text).
+
+Submission validation here is deliberately *shallow* — kind, types and
+field names only.  Deep validation (does the UTS preset exist? is the
+Taillard index in range?) happens when a job host builds the application:
+a spec that passes admission but fails to build is the canonical
+*poisoned spec* and lands in the dead-letter store with its traceback,
+instead of being silently impossible to submit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..sim.errors import SimConfigError
+
+#: Protocols the service executes (the live-validated subset).
+SERVE_PROTOCOLS = ("TD", "TR", "BTD", "BTR", "RWS")
+
+#: App-spec kinds a submission may name (shallow check; see module doc).
+APP_KINDS = ("uts", "bnb", "synthetic")
+
+#: Per-job run-config overrides a submission may carry.
+RUN_OVERRIDES = ("protocol", "quantum", "seed", "dmax", "sharing")
+
+
+class BadRequest(SimConfigError):
+    """A malformed API request (rejected before admission)."""
+
+
+def error_response(code: str, **fields) -> dict:
+    out = {"ok": False, "error": code}
+    out.update(fields)
+    return out
+
+
+def validate_app(app) -> dict:
+    """Shallow-validate a submitted app spec; returns it normalised."""
+    if not isinstance(app, dict):
+        raise BadRequest("app spec must be a JSON object")
+    kind = app.get("kind")
+    if kind not in APP_KINDS:
+        raise BadRequest(f"unknown app kind {kind!r}; "
+                         f"known: {', '.join(APP_KINDS)}")
+    if kind == "uts" and not isinstance(app.get("preset"), str):
+        raise BadRequest("uts spec needs a string 'preset'")
+    if kind == "bnb" and not isinstance(app.get("index"), int):
+        raise BadRequest("bnb spec needs an integer 'index'")
+    if kind == "synthetic" and not isinstance(app.get("units"), int):
+        raise BadRequest("synthetic spec needs an integer 'units'")
+    return dict(app)
+
+
+def validate_run(run) -> dict:
+    """Shallow-validate per-job run overrides; returns them normalised."""
+    if run is None:
+        return {}
+    if not isinstance(run, dict):
+        raise BadRequest("run overrides must be a JSON object")
+    unknown = sorted(set(run) - set(RUN_OVERRIDES))
+    if unknown:
+        raise BadRequest(f"unknown run override(s) {unknown}; "
+                         f"known: {', '.join(RUN_OVERRIDES)}")
+    out = dict(run)
+    proto = out.get("protocol")
+    if proto is not None and proto not in SERVE_PROTOCOLS:
+        raise BadRequest(f"unknown protocol {proto!r}; "
+                         f"known: {', '.join(SERVE_PROTOCOLS)}")
+    for key in ("quantum", "seed", "dmax"):
+        if key in out and not isinstance(out[key], int):
+            raise BadRequest(f"run override {key!r} must be an integer")
+    if "sharing" in out and not isinstance(out["sharing"], str):
+        raise BadRequest("run override 'sharing' must be a string")
+    return out
+
+
+def spec_label(app: dict) -> str:
+    """Human label of an app spec, without building the application."""
+    kind = app.get("kind")
+    if kind == "uts":
+        return f"uts/{app.get('preset')}"
+    if kind == "bnb":
+        return (f"bnb/ta{20 + app.get('index', 0)}"
+                f"@{app.get('jobs', 10)}x{app.get('machines', 10)}"
+                f"/{app.get('bound', 'lb1')}")
+    if kind == "synthetic":
+        return f"synthetic/{app.get('units')}"
+    return f"{kind}/?"
+
+
+def parse_address(text: str) -> tuple:
+    """``tcp:HOST:PORT`` or ``unix:/path`` -> a connectable address."""
+    if text.startswith("unix:"):
+        return ("unix", text[len("unix:"):])
+    if text.startswith("tcp:"):
+        host, _, port = text[len("tcp:"):].rpartition(":")
+        if not host or not port.isdigit():
+            raise BadRequest(f"bad tcp address {text!r} "
+                             "(want tcp:HOST:PORT)")
+        return ("tcp", host, int(port))
+    raise BadRequest(f"bad address {text!r} (want tcp:HOST:PORT "
+                     "or unix:/path)")
+
+
+def format_address(addr: tuple) -> str:
+    if addr[0] == "unix":
+        return f"unix:{addr[1]}"
+    return f"tcp:{addr[1]}:{addr[2]}"
+
+
+def write_line(wfile, obj: dict) -> None:
+    """One response/request on a newline-JSON stream."""
+    wfile.write(json.dumps(obj, separators=(",", ":"),
+                           allow_nan=False).encode("utf-8") + b"\n")
+    wfile.flush()
+
+
+def read_line(rfile) -> Optional[dict]:
+    """Next object from a newline-JSON stream (None at EOF)."""
+    line = rfile.readline()
+    if not line:
+        return None
+    obj = json.loads(line)
+    if not isinstance(obj, dict):
+        raise BadRequest("request must be a JSON object")
+    return obj
+
+
+__all__ = ["APP_KINDS", "BadRequest", "RUN_OVERRIDES", "SERVE_PROTOCOLS",
+           "error_response", "format_address", "parse_address", "read_line",
+           "spec_label", "validate_app", "validate_run", "write_line"]

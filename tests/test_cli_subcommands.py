@@ -1,0 +1,59 @@
+"""The ``repro.experiments`` subcommand registry cannot drift.
+
+Three invariants, each of which has historically broken in CLIs with
+hand-rolled dispatch:
+
+1. every subcommand in :data:`SUBCOMMANDS` actually dispatches (its
+   ``--help`` exits 0 instead of falling through to the experiment-id
+   parser, which would ``parser.error`` with exit 2);
+2. the ``--help`` epilog mentions every subcommand, so users can
+   discover them;
+3. the literal ``argv[0] == "..."`` dispatch guards in the source and
+   the :data:`SUBCOMMANDS` keys are the *same set* — adding a dispatch
+   branch without documenting it (or vice versa) fails here.
+"""
+
+import inspect
+import re
+
+import pytest
+
+import repro.experiments.__main__ as cli
+from repro.experiments.__main__ import SUBCOMMANDS, main
+
+
+def test_registry_covers_known_subcommands():
+    # The service PR's contract: serve rides next to the original three.
+    assert {"report", "live", "scale", "serve"} <= set(SUBCOMMANDS)
+
+
+@pytest.mark.parametrize("name", sorted(SUBCOMMANDS))
+def test_subcommand_dispatches_help(name):
+    with pytest.raises(SystemExit) as exc:
+        main([name, "--help"])
+    assert exc.value.code == 0
+
+
+@pytest.mark.parametrize("name", sorted(SUBCOMMANDS))
+def test_epilog_documents_subcommand(name, capsys):
+    with pytest.raises(SystemExit):
+        main(["--help"])
+    out = capsys.readouterr().out
+    assert name in out
+    # And the first few words of the description survive into the epilog.
+    first_words = " ".join(SUBCOMMANDS[name].split()[:3])
+    assert first_words in out
+
+
+def test_dispatch_guards_match_registry():
+    src = inspect.getsource(cli.main)
+    dispatched = set(re.findall(r'argv\[0\] == "(\w+)"', src))
+    assert dispatched == set(SUBCOMMANDS), (
+        "dispatch branches and SUBCOMMANDS drifted: "
+        f"dispatch-only={dispatched - set(SUBCOMMANDS)} "
+        f"registry-only={set(SUBCOMMANDS) - dispatched}")
+
+
+def test_descriptions_are_nonempty_strings():
+    for name, desc in SUBCOMMANDS.items():
+        assert isinstance(desc, str) and desc.strip(), name

@@ -110,6 +110,27 @@ def test_live_trace_merges_into_loadable_schema(tmp_path):
 
 # -- fault injection ---------------------------------------------------------
 
+def test_default_run_dir_removed_after_clean_run():
+    """A successful untraced run must not leak its tempdir (regression:
+    every ``run_live`` call used to leave a ``repro-live-*`` directory of
+    worker logs in $TMPDIR forever)."""
+    live = run_live(LiveConfig(protocol="BTD", n=2, app=UTS_TINY, seed=7,
+                               timeout_s=60.0))
+    assert live.result.total_units == TINY_NODES
+    assert not os.path.exists(live.run_dir)
+
+
+def test_explicit_run_dir_survives_clean_run(tmp_path):
+    """Caller-supplied run dirs are the caller's to manage — cleanup only
+    applies to the default tempdir."""
+    run_dir = str(tmp_path / "run")
+    live = run_live(LiveConfig(protocol="BTD", n=2, app=UTS_TINY, seed=7,
+                               timeout_s=60.0, run_dir=run_dir))
+    assert live.result.total_units == TINY_NODES
+    assert os.path.isdir(run_dir)
+    assert live.run_dir == run_dir
+
+
 def test_sigkill_mid_run_conserves_every_unit(tmp_path):
     cfg = LiveConfig(protocol="BTD", n=4, app=UTS_TINY, seed=21,
                      timeout_s=90.0, fault_tolerance=True,

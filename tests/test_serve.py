@@ -1,0 +1,202 @@
+"""Service layer (``repro.serve``): the resilience contracts, in-process.
+
+One daemon with two warm lanes is shared by most tests (boot is the
+expensive part); the tests then hit the newline-JSON API exactly like an
+external client would and check the properties ``docs/serve.md``
+promises:
+
+* correct per-job results, concurrently, on *warm* fleets (same worker
+  OS pids across jobs — no per-run spawning);
+* poisoned specs are admitted, fail at build time, and land in the
+  dead-letter store with a traceback — the lane stays in service;
+* a full queue yields a structured ``busy`` rejection (load leveling +
+  admission control), never a hang;
+* graceful drain completes every accepted job, rejects new ones with
+  ``draining``, and ``resume`` re-opens admission;
+* a rolling restart recycles every lane without losing accepted jobs.
+"""
+
+import shutil
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.serve.loadgen import POISON_SPEC
+from repro.sim.errors import SimConfigError
+from repro.uts.params import PRESETS
+from repro.uts.sequential import count_tree
+
+TINY_NODES = count_tree(PRESETS["bin_tiny"].params).nodes
+UTS_TINY = {"kind": "uts", "preset": "bin_tiny"}
+SYN = {"kind": "synthetic", "units": 4000}
+
+
+def _wait_idle(d, timeout=60.0):
+    """Block until every lane finished booting (fleet snapshots taken
+    before the handshake show ospid=None)."""
+    end = time.monotonic() + timeout
+    while time.monotonic() < end:
+        lanes = [ln.snapshot() for ln in d._lanes]
+        if all(ln["state"] == "idle"
+               and all(w["ospid"] for w in ln["workers"])
+               for ln in lanes):
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"lanes never went idle: {lanes}")
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    d = ServeDaemon(ServeConfig(lanes=2, n=2, queue_limit=16,
+                                job_timeout_s=60.0))
+    d.start()
+    _wait_idle(d)
+    yield d
+    d.stop()
+    shutil.rmtree(d.run_dir, ignore_errors=True)
+
+
+@pytest.fixture()
+def client(daemon):
+    with ServeClient(daemon.address) as c:
+        yield c
+
+
+# -- config & admission-side validation ---------------------------------------
+
+def test_config_rejects_nonsense():
+    with pytest.raises(SimConfigError):
+        ServeConfig(protocol="nope")
+    with pytest.raises(SimConfigError):
+        ServeConfig(lanes=0)
+    with pytest.raises(SimConfigError):
+        ServeConfig(n=1)
+    with pytest.raises(SimConfigError):
+        ServeConfig(queue_limit=0)
+    with pytest.raises(SimConfigError):
+        ServeConfig(lanes=2, max_inflight=3)
+
+
+def test_bad_request_and_unknown_op(client):
+    resp = client.request("submit", app={"kind": "uts"})   # missing preset
+    assert resp["ok"] is False and resp["error"] == "bad-request"
+    resp = client.request("submit", app=dict(SYN), run={"protocol": "??"})
+    assert resp["ok"] is False and resp["error"] == "bad-request"
+    resp = client.request("no_such_op")
+    assert resp["ok"] is False and resp["error"] == "unknown-op"
+    resp = client.request("status", job_id="j999999")
+    assert resp["ok"] is False and resp["error"] == "unknown-job"
+
+
+# -- warm-fleet execution ------------------------------------------------------
+
+def test_concurrent_jobs_on_warm_lanes(client):
+    """Two jobs in flight at once, each with the right answer, and the
+    fleet's worker processes survive across jobs (warm reuse)."""
+    before = client.fleet()
+    pids_before = {ln["lane"]: sorted(w["ospid"] for w in ln["workers"])
+                   for ln in before["lanes"]}
+
+    subs = [client.submit(UTS_TINY), client.submit(SYN)]
+    assert all(s["ok"] for s in subs)
+    st_uts = client.wait(subs[0]["job_id"], timeout=90.0)
+    st_syn = client.wait(subs[1]["job_id"], timeout=90.0)
+    assert st_uts["state"] == "done" and st_syn["state"] == "done"
+    assert st_uts["total_units"] == TINY_NODES
+    assert st_syn["total_units"] == SYN["units"]
+    assert st_uts["queue_s"] >= 0 and st_uts["exec_s"] > 0
+
+    # with 2 idle lanes and 2 simultaneous submissions, the jobs ran in
+    # parallel on distinct bulkheads
+    lanes_used = {client.status(s["job_id"])["lane"] for s in subs}
+    assert len(lanes_used) == 2
+
+    after = client.fleet()
+    pids_after = {ln["lane"]: sorted(w["ospid"] for w in ln["workers"])
+                  for ln in after["lanes"]}
+    assert pids_after == pids_before            # nobody was respawned
+    assert all(ln["restarts"] == 0 for ln in after["lanes"])
+
+    # the full observability report rides along
+    rep = client.report(subs[0]["job_id"])
+    assert rep["ok"] and rep["report"]["meta"]["serve"] is True
+
+
+def test_poison_spec_dead_letters_and_lane_survives(client):
+    resp = client.submit(POISON_SPEC)
+    assert resp["ok"], "poison must pass admission (fails at build time)"
+    st = client.wait(resp["job_id"], timeout=60.0)
+    assert st["state"] == "dead"
+    assert "__poisoned__" in st["error"]
+
+    dl = client.dead_letters()
+    assert dl["count"] >= 1
+    rec = next(r for r in dl["dead_letters"]
+               if r["job_id"] == resp["job_id"])
+    assert rec["app"] == POISON_SPEC
+    assert rec["traceback"]                      # API exposes the traceback
+
+    # the lane that hit the poison is still in service
+    again = client.submit(SYN)
+    assert client.wait(again["job_id"], timeout=90.0)["state"] == "done"
+
+
+# -- drain / resume / rolling restart -----------------------------------------
+
+def test_graceful_drain_completes_accepted_then_rejects(client):
+    subs = [client.submit(SYN) for _ in range(4)]
+    assert all(s["ok"] for s in subs)
+    resp = client.drain(wait=True, timeout_s=120.0)
+    assert resp["drained"] is True
+    assert resp["queue_depth"] == 0 and resp["running"] == 0
+    for s in subs:                               # zero loss
+        assert client.status(s["job_id"])["state"] == "done"
+
+    rej = client.submit(SYN)
+    assert rej["ok"] is False and rej["error"] == "draining"
+
+    assert client.resume()["draining"] is False
+    ok = client.submit(SYN)
+    assert client.wait(ok["job_id"], timeout=90.0)["state"] == "done"
+
+
+def test_rolling_restart_recycles_every_lane_zero_loss(client):
+    subs = [client.submit(SYN) for _ in range(3)]
+    resp = client.restart()
+    assert resp["ok"] is True
+    assert sorted(resp["restarted"]) == [0, 1] and not resp["failed"]
+    for s in subs:                               # accepted before/while
+        assert client.wait(s["job_id"], timeout=90.0)["state"] == "done"
+    fleet = client.fleet()
+    assert all(ln["restarts"] >= 1 for ln in fleet["lanes"])
+    # service is still healthy after the rebuild
+    ok = client.submit(UTS_TINY)
+    assert client.wait(ok["job_id"], timeout=90.0)["state"] == "done"
+
+
+# -- admission control under pressure -----------------------------------------
+
+def test_full_queue_rejects_busy_with_backpressure_hint():
+    d = ServeDaemon(ServeConfig(lanes=1, n=2, queue_limit=1,
+                                max_inflight=1, job_timeout_s=60.0))
+    d.start()
+    try:
+        with ServeClient(d.address) as c:
+            slow = {"kind": "synthetic", "units": 300_000}
+            resps = [c.submit(slow) for _ in range(5)]
+            busy = [r for r in resps if not r["ok"]]
+            accepted = [r for r in resps if r["ok"]]
+            assert busy, "queue_limit=1 must shed some of 5 instant submits"
+            for r in busy:
+                assert r["error"] == "busy"
+                assert r["queue_limit"] == 1
+                assert r["queue_depth"] >= 1
+                assert r["retry_after_s"] > 0
+            assert c.stats()["rejected_busy"] == len(busy)
+            for r in accepted:                   # the rest still complete
+                assert c.wait(r["job_id"], timeout=120.0)["state"] == "done"
+    finally:
+        d.stop()
+        shutil.rmtree(d.run_dir, ignore_errors=True)
